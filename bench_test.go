@@ -1,0 +1,137 @@
+// Benchmark harness: one testing.B entry per table/figure of the paper's
+// evaluation. Each benchmark regenerates its experiment through the same
+// harness cmd/polybench uses and reports the headline numbers as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. The heavyweight sweeps (fig7, fig13)
+// take a couple of minutes each; everything is deterministic.
+package poly_test
+
+import (
+	"testing"
+
+	"poly"
+	"poly/internal/exp"
+)
+
+// runExperiment executes one experiment per benchmark iteration and
+// returns the last result for metric extraction.
+func runExperiment(b *testing.B, id string) exp.Result {
+	b.Helper()
+	var res exp.Result
+	for i := 0; i < b.N; i++ {
+		r, err := poly.RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	return res
+}
+
+func BenchmarkFig1aTailLatencyASR(b *testing.B) {
+	r := runExperiment(b, "fig1a").(*exp.TailLatencyResult)
+	b.ReportMetric(r.MaxRPS["Homo-GPU"], "maxRPS-GPU")
+	b.ReportMetric(r.MaxRPS["Homo-FPGA"], "maxRPS-FPGA")
+	b.ReportMetric(r.MaxRPS["Heter-Poly"], "maxRPS-Poly")
+}
+
+func BenchmarkFig1bEnergyProportionalityASR(b *testing.B) {
+	r := runExperiment(b, "fig1b").(*exp.PowerScalingResult)
+	b.ReportMetric(r.MeanEP("Homo-GPU"), "EP-GPU")
+	b.ReportMetric(r.MeanEP("Homo-FPGA"), "EP-FPGA")
+	b.ReportMetric(r.MeanEP("Heter-Poly"), "EP-Poly")
+}
+
+func BenchmarkFig1cLSTMPareto(b *testing.B) {
+	r := runExperiment(b, "fig1c").(*exp.ParetoResult)
+	b.ReportMetric(float64(len(r.GPU)), "gpuFrontier")
+	b.ReportMetric(float64(len(r.FPG)), "fpgaFrontier")
+}
+
+func BenchmarkFig1dEfficiencyVsUtilization(b *testing.B) {
+	r := runExperiment(b, "fig1d").(*exp.EfficiencyResult)
+	// Poly's efficiency gain from 20 % to 100 % utilization.
+	for _, s := range r.Curves {
+		if s.Name == "Heter-Poly" && len(s.Y) > 0 && s.Y[0] > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1]/s.Y[0], "polyEffGain")
+		}
+	}
+}
+
+func BenchmarkFig1efKernelBreakdown(b *testing.B) {
+	r := runExperiment(b, "fig1ef").(*exp.BreakdownResult)
+	b.ReportMetric(float64(len(r.Rows)), "kernels")
+}
+
+func BenchmarkFig6SchedulingASR(b *testing.B) {
+	r := runExperiment(b, "fig6").(*exp.ScheduleResult)
+	b.ReportMetric(r.MakespanMS, "makespanMS")
+	b.ReportMetric(float64(r.Swaps), "energySwaps")
+	b.ReportMetric(r.EnergyStep1-r.EnergyFinal, "energySavedMJ")
+}
+
+func BenchmarkTable2DesignSpaces(b *testing.B) {
+	r := runExperiment(b, "table2").(*exp.DesignSpaceResult)
+	b.ReportMetric(float64(len(r.Rows)), "kernels")
+}
+
+func BenchmarkFig7TailLatency(b *testing.B) {
+	r := runExperiment(b, "fig7").(*exp.MultiResult)
+	b.ReportMetric(float64(len(r.Parts)), "apps")
+}
+
+func BenchmarkFig8MaxThroughput(b *testing.B) {
+	r := runExperiment(b, "fig8").(*exp.ThroughputResult)
+	b.ReportMetric(r.MeanNorm["Heter-Poly"], "normPoly")
+	b.ReportMetric(r.MeanNorm["Homo-GPU"], "normGPU")
+	b.ReportMetric(r.MeanNorm["Homo-FPGA"], "normFPGA")
+}
+
+func BenchmarkFig9PowerScaling(b *testing.B) {
+	r := runExperiment(b, "fig9").(*exp.PowerScalingResult)
+	b.ReportMetric(r.MeanEP("Heter-Poly"), "EP-Poly")
+}
+
+func BenchmarkFig10EnergyProportionality(b *testing.B) {
+	r := runExperiment(b, "fig10").(*exp.PowerScalingResult)
+	b.ReportMetric(r.MeanEP("Heter-Poly")-r.MeanEP("Homo-GPU"), "EPgainVsGPU")
+	b.ReportMetric(r.MeanEP("Heter-Poly")-r.MeanEP("Homo-FPGA"), "EPgainVsFPGA")
+}
+
+func BenchmarkFig11Trace(b *testing.B) {
+	r := runExperiment(b, "fig11").(*exp.TraceResult)
+	b.ReportMetric(r.Trace.Mean(), "meanUtil")
+	b.ReportMetric(r.Trace.Peak(), "peakUtil")
+}
+
+func BenchmarkFig12TracePowerSavings(b *testing.B) {
+	r := runExperiment(b, "fig12").(*exp.TraceReplayResult)
+	b.ReportMetric(100*r.PowerSaving("Homo-GPU"), "savingVsGPU%")
+	b.ReportMetric(100*r.PowerSaving("Homo-FPGA"), "savingVsFPGA%")
+}
+
+func BenchmarkQoSViolations(b *testing.B) {
+	r := runExperiment(b, "qos").(*exp.QoSResult)
+	b.ReportMetric(100*r.Violation["Heter-Poly"], "polyViol%")
+}
+
+func BenchmarkModelAccuracy(b *testing.B) {
+	r := runExperiment(b, "accuracy").(*exp.AccuracyResult)
+	b.ReportMetric(100*r.MeanAbsErr, "meanErr%")
+	b.ReportMetric(100*r.MaxAbsErr, "maxErr%")
+}
+
+func BenchmarkFig13ArchScalability(b *testing.B) {
+	r := runExperiment(b, "fig13").(*exp.ScalabilityResult)
+	share, rps := r.BestSplit("Setting-I")
+	b.ReportMetric(100*share, "bestGPUshare%")
+	b.ReportMetric(rps, "bestRPS")
+}
+
+func BenchmarkFig14CostEfficiency(b *testing.B) {
+	r := runExperiment(b, "fig14").(*exp.CostEfficiencyResult)
+	b.ReportMetric(r.RPSPerUSD["Setting-I"]["Heter-Poly"], "polyRPSperUSD")
+}

@@ -1,0 +1,76 @@
+// Command polybench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	polybench -list           # enumerate experiments
+//	polybench -run fig8       # run one experiment
+//	polybench -run all        # run the full suite (several minutes)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"poly/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
+	flag.Parse()
+
+	emit := func(r exp.Result) {
+		if *asJSON {
+			enc, err := json.MarshalIndent(map[string]any{"id": r.ID(), "result": r}, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "polybench:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(enc))
+			return
+		}
+		fmt.Println(r.Render())
+	}
+
+	switch {
+	case *list:
+		for _, e := range exp.List() {
+			fmt.Printf("  %-10s %s\n", e[0], e[1])
+		}
+	case *run == "all":
+		start := time.Now()
+		n := 0
+		for _, e := range exp.List() {
+			t0 := time.Now()
+			r, err := exp.Run(e[0])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "polybench: %s: %v\n", e[0], err)
+				os.Exit(1)
+			}
+			emit(r)
+			if !*asJSON {
+				fmt.Printf("  (%s in %s)\n\n", e[0], time.Since(t0).Round(time.Millisecond))
+			}
+			n++
+		}
+		fmt.Printf("completed %d experiments in %s\n", n, time.Since(start).Round(time.Second))
+	case *run != "":
+		start := time.Now()
+		r, err := exp.Run(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polybench:", err)
+			os.Exit(1)
+		}
+		emit(r)
+		if !*asJSON {
+			fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

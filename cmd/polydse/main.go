@@ -1,0 +1,96 @@
+// Command polydse runs Poly's offline analysis and design-space
+// exploration for one application and dumps the per-kernel results:
+// pattern structure, space sizes, and the Pareto frontier extremes on
+// both platforms.
+//
+// Usage:
+//
+//	polydse -app ASR [-setting I|II|III] [-frontier]
+//	polydse -src program.poly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"poly/internal/cluster"
+	"poly/internal/core"
+	"poly/internal/device"
+)
+
+func main() {
+	app := flag.String("app", "", "built-in benchmark name (ASR, FQT, IR, CS, MF, WT)")
+	src := flag.String("src", "", "path to an annotation-language source file")
+	settingName := flag.String("setting", "I", "hardware setting: I, II, or III")
+	frontier := flag.Bool("frontier", false, "dump full Pareto frontiers")
+	flag.Parse()
+
+	setting, err := pickSetting(*settingName)
+	if err != nil {
+		fail(err)
+	}
+	fw, err := load(*app, *src)
+	if err != nil {
+		fail(err)
+	}
+	ks, err := fw.Explore(setting)
+	if err != nil {
+		fail(err)
+	}
+
+	prog := fw.Program()
+	fmt.Printf("program %s — %d kernel(s), %.0f ms bound, %s\n",
+		prog.Name, len(prog.Kernels()), prog.LatencyBoundMS, setting.Name)
+	for _, k := range prog.Kernels() {
+		fmt.Printf("\nkernel %s (repeat ×%d, %d pattern(s))\n", k.Name, k.Invocations(), k.Patterns.Len())
+		for _, class := range []device.Class{device.GPU, device.FPGA} {
+			sp := ks.Space(k.Name, class)
+			fast, eff, thr := sp.MinLatency(), sp.MaxEfficiency(), sp.MaxThroughput()
+			fmt.Printf("  %-4s %4d enumerated, %4d feasible, %3d Pareto\n",
+				class, sp.Enumerated, len(sp.Feasible), len(sp.Pareto))
+			fmt.Printf("       fastest  %8.2f ms %6.1f W  [%s]\n", fast.LatencyMS, fast.PowerW, fast.Config)
+			fmt.Printf("       greenest %8.2f ms %6.1f W  [%s]\n", eff.LatencyMS, eff.PowerW, eff.Config)
+			fmt.Printf("       widest   %8.1f rps %6.1f W  [%s]\n", thr.ThroughputRPS, thr.PowerW, thr.Config)
+			if *frontier {
+				for _, im := range sp.Pareto {
+					fmt.Printf("       · %8.2fms %6.1fW %8.1frps  %s\n",
+						im.LatencyMS, im.PowerW, im.ThroughputRPS, im.Config)
+				}
+			}
+		}
+	}
+}
+
+func pickSetting(name string) (cluster.Setting, error) {
+	switch name {
+	case "I", "i", "1":
+		return cluster.SettingI, nil
+	case "II", "ii", "2":
+		return cluster.SettingII, nil
+	case "III", "iii", "3":
+		return cluster.SettingIII, nil
+	}
+	return cluster.Setting{}, fmt.Errorf("unknown setting %q", name)
+}
+
+func load(app, src string) (*core.Framework, error) {
+	switch {
+	case app != "" && src != "":
+		return nil, fmt.Errorf("pass either -app or -src, not both")
+	case app != "":
+		return core.App(app)
+	case src != "":
+		text, err := os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileSource(string(text))
+	}
+	return nil, fmt.Errorf("pass -app NAME or -src FILE")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "polydse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command polysim serves one workload on one node architecture and
+// prints the QoS and power outcome.
+//
+// Usage:
+//
+//	polysim -app ASR -arch heter -rps 50 -duration 20s
+//	polysim -app FQT -arch gpu -trace          # 24 h trace replay (compressed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"poly"
+	"poly/internal/runtime"
+	"poly/internal/sim"
+)
+
+func main() {
+	app := flag.String("app", "ASR", "benchmark name (ASR, FQT, IR, CS, MF, WT)")
+	archName := flag.String("arch", "heter", "architecture: gpu, fpga, or heter")
+	rps := flag.Float64("rps", 40, "offered load in requests/second")
+	duration := flag.Duration("duration", 20*time.Second, "simulated serving span")
+	seed := flag.Int64("seed", 1, "workload seed")
+	useTrace := flag.Bool("trace", false, "replay the 24 h utilization trace (compressed to 10 min) instead of constant load")
+	setting := flag.String("setting", "I", "hardware setting: I, II, or III")
+	flag.Parse()
+
+	arch, err := pickArch(*archName)
+	if err != nil {
+		fail(err)
+	}
+	st, err := pickSetting(*setting)
+	if err != nil {
+		fail(err)
+	}
+	fw, err := poly.Benchmark(*app)
+	if err != nil {
+		fail(err)
+	}
+	bench, err := poly.NewBench(fw, arch, st)
+	if err != nil {
+		fail(err)
+	}
+
+	var res poly.Result
+	if *useTrace {
+		tr := poly.SynthesizeTrace(*seed)
+		const compressedMS = 600_000.0
+		compress := tr.DurationMS() / compressedMS
+		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000})
+		if err != nil {
+			fail(err)
+		}
+		w := runtime.NewWorkload(*seed)
+		w.InjectRate(sv, func(at sim.Time) float64 {
+			return *rps * tr.At(float64(at)*compress)
+		}, compressedMS, 5_000)
+		res = sv.Collect()
+	} else {
+		res, err = bench.ServeConstantLoad(*rps, float64(duration.Milliseconds()), *seed)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("%s on %s (%s):\n", *app, arch, st.Name)
+	fmt.Printf("  served      %d requests over %.1f s\n", res.Completed, res.DurationMS/1000)
+	fmt.Printf("  latency     p50 %.1f ms, p99 %.1f ms (bound %.0f ms)\n",
+		res.P50MS, res.P99MS, fw.Program().LatencyBoundMS)
+	fmt.Printf("  violations  %.2f%%\n", 100*res.ViolationRatio())
+	fmt.Printf("  power       %.1f W average, %.0f J total\n", res.AvgPowerW, res.EnergyMJ/1000)
+	fmt.Printf("  placement   %d GPU tasks, %d FPGA tasks, %d reconfigurations\n",
+		res.GPUTasks, res.FPGATasks, res.Reconfigs)
+}
+
+func pickArch(s string) (poly.Architecture, error) {
+	switch s {
+	case "gpu":
+		return poly.HomoGPU, nil
+	case "fpga":
+		return poly.HomoFPGA, nil
+	case "heter", "poly":
+		return poly.HeterPoly, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q (want gpu, fpga, or heter)", s)
+}
+
+func pickSetting(s string) (poly.Setting, error) {
+	switch s {
+	case "I", "1":
+		return poly.SettingI(), nil
+	case "II", "2":
+		return poly.SettingII(), nil
+	case "III", "3":
+		return poly.SettingIII(), nil
+	}
+	return poly.Setting{}, fmt.Errorf("unknown setting %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "polysim:", err)
+	os.Exit(1)
+}

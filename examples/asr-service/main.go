@@ -1,0 +1,87 @@
+// asr-service reproduces the motivation study of the paper's Fig. 1(a):
+// an automatic-speech-recognition service under rising request load on
+// the three node architectures, reporting the tail-latency curve and the
+// maximum QoS-compliant throughput of each.
+//
+// The ASR computation itself is real: this example also runs the
+// reference LSTM + fully-connected pipeline from internal/apps on a
+// synthetic utterance, so the kernels being scheduled correspond to
+// actual math.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"poly"
+	"poly/internal/apps"
+	"poly/internal/exec"
+)
+
+func main() {
+	// The reference computation: a 64-wide LSTM over 40 frames feeding a
+	// softmax classifier — the math the k1/k4 kernels stand for.
+	cell := apps.NewLSTMCell(64)
+	cx := exec.DefaultCtx
+	frames := make([]*exec.Tensor, 40)
+	for i := range frames {
+		frames[i] = exec.NewTensor(64)
+		for j := range frames[i].Data {
+			frames[i].Data[j] = math.Sin(float64(i*64+j) / 17)
+		}
+	}
+	h := cell.Forward(cx, frames)
+	w := exec.NewTensor(32, 64)
+	for i := range w.Data {
+		w.Data[i] = math.Cos(float64(i) / 9)
+	}
+	probs := apps.FullyConnected(cx, w, h)
+	best, arg := -1.0, 0
+	for i, p := range probs.Data {
+		if p > best {
+			best, arg = p, i
+		}
+	}
+	fmt.Printf("reference LSTM→FC pipeline: class %d (p=%.3f) over %d frames\n\n", arg, best, len(frames))
+
+	// The serving study.
+	fw, err := poly.Benchmark("ASR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	loads := []float64{10, 25, 40, 55, 70, 85}
+	fmt.Printf("%-10s", "RPS")
+	for _, arch := range []poly.Architecture{poly.HomoGPU, poly.HomoFPGA, poly.HeterPoly} {
+		fmt.Printf("  %16s", arch)
+	}
+	fmt.Println("  (p99 ms / violation %)")
+	for _, rps := range loads {
+		fmt.Printf("%-10.0f", rps)
+		for _, arch := range []poly.Architecture{poly.HomoGPU, poly.HomoFPGA, poly.HeterPoly} {
+			bench, err := poly.NewBench(fw, arch, poly.SettingI())
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := bench.ServeConstantLoad(rps, 15_000, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.0f / %4.1f%%", res.P99MS, 100*res.ViolationRatio())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nmaximum QoS-compliant throughput (p99 ≤ 200 ms):")
+	for _, arch := range []poly.Architecture{poly.HomoGPU, poly.HomoFPGA, poly.HeterPoly} {
+		bench, err := poly.NewBench(fw, arch, poly.SettingI())
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := bench.MaxThroughputRPS(128, 10_000, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %6.1f RPS\n", arch, m)
+	}
+}

@@ -1,0 +1,91 @@
+// custom-app shows how to bring a NEW application to Poly: write its
+// kernel DAG in the annotation language, compile it, inspect the explored
+// design spaces, and serve it on a heterogeneous node — everything a
+// deployment would do for a workload the library does not ship.
+//
+// The example models a video-analytics service: a decode kernel (custom
+// IP-style bitstream parsing), a detector backbone (dense convolutions),
+// and a tracker update (irregular gathers).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poly"
+)
+
+const videoAnalytics = `
+program video-analytics
+latency_bound 150
+
+# Bitstream parsing: serial-ish custom decoding, FPGA-friendly.
+kernel decode
+  repeat 120
+  const tables u8[65536]
+  in bitstream u8[262144]
+  gather  syms(bitstream, elems=262144 elem=u8)
+  map     entropy(syms tables, func=cabac ops=12 custom elems=262144 elem=u8)
+  pipeline dequant(entropy, funcs=[mul:1 add:1] elem=u8)
+  out dequant
+
+# Detector backbone: dense stencil compute, batches well on GPUs.
+kernel detect
+  repeat 16
+  const wts f32[32x3x7x7]
+  in frame f32[3x112x112]
+  tiling  tiles(frame, size=[16 16 3] count=[7 7 1])
+  stencil conv(tiles wts, func=conv ops=147 taps=49 elems=37632)
+  map     relu(conv, func=max ops=1)
+  pipeline norm(relu, funcs=[mul:1 add:1])
+  out norm
+
+# Tracker update: sparse association, latency-critical.
+kernel track
+  repeat 60
+  const state f32[4096x16]
+  in detections f32[4096]
+  gather  assoc(detections state, irregular elems=4096)
+  map     kalman(assoc, func=mac ops=64 elems=4096)
+  reduce  confirm(kalman, func=add assoc elems=256)
+  out confirm
+
+edge decode -> detect bytes=262144
+edge detect -> track bytes=16384
+`
+
+func main() {
+	fw, err := poly.Compile(videoAnalytics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := fw.Program()
+	fmt.Printf("compiled %q: %d kernels, %.0f ms bound\n",
+		prog.Name, len(prog.Kernels()), prog.LatencyBoundMS)
+
+	ks, err := fw.Explore(poly.SettingI())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range prog.Kernels() {
+		g, f := ks.GPU[k.Name], ks.FPGA[k.Name]
+		fmt.Printf("  %-8s GPU %3d feasible → %2d Pareto (fastest %6.1f ms @ %5.1f W)\n",
+			k.Name, len(g.Feasible), len(g.Pareto), g.MinLatency().LatencyMS, g.MinLatency().PowerW)
+		fmt.Printf("  %-8s FPGA %3d feasible → %2d Pareto (fastest %6.1f ms @ %5.1f W)\n",
+			"", len(f.Feasible), len(f.Pareto), f.MinLatency().LatencyMS, f.MinLatency().PowerW)
+	}
+
+	fmt.Println("\nserving 20 RPS for 15 s on each architecture:")
+	for _, arch := range []poly.Architecture{poly.HomoGPU, poly.HomoFPGA, poly.HeterPoly} {
+		bench, err := poly.NewBench(fw, arch, poly.SettingI())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := bench.ServeConstantLoad(20, 15_000, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s p99 %6.1f ms  violations %4.1f%%  avg power %6.1f W  (GPU tasks %d, FPGA tasks %d)\n",
+			arch, res.P99MS, 100*res.ViolationRatio(), res.AvgPowerW, res.GPUTasks, res.FPGATasks)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: compile the ASR benchmark, inspect its design spaces, plan
+// one request with the two-step runtime scheduler, and serve a short
+// burst of load on a Heter-Poly node.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poly"
+)
+
+func main() {
+	// 1. Compile (offline kernel analysis + design-space exploration).
+	fw, err := poly.Benchmark("ASR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := fw.Program()
+	fmt.Printf("compiled %s: %d kernels, %.0f ms QoS bound\n",
+		prog.Name, len(prog.Kernels()), prog.LatencyBoundMS)
+
+	ks, err := fw.Explore(poly.SettingI())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range prog.Kernels() {
+		g, f := ks.GPU[k.Name], ks.FPGA[k.Name]
+		fmt.Printf("  %-14s GPU frontier %2d points (fastest %6.1f ms) | FPGA frontier %2d points (fastest %6.1f ms)\n",
+			k.Name, len(g.Pareto), g.MinLatency().LatencyMS,
+			len(f.Pareto), f.MinLatency().LatencyMS)
+	}
+
+	// 2. Serve load on the three node architectures and compare.
+	fmt.Println("\nserving 20 s of 40 RPS Poisson load:")
+	for _, arch := range []poly.Architecture{poly.HomoGPU, poly.HomoFPGA, poly.HeterPoly} {
+		bench, err := poly.NewBench(fw, arch, poly.SettingI())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := bench.ServeConstantLoad(40, 20_000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s p50 %6.1f ms  p99 %6.1f ms  violations %4.1f%%  avg power %5.1f W\n",
+			arch, res.P50MS, res.P99MS, 100*res.ViolationRatio(), res.AvgPowerW)
+	}
+}

@@ -1,0 +1,58 @@
+// trace-replay reproduces the Section VI-C datacenter study: a 24-hour
+// Google-cluster-shaped utilization trace is replayed (time-compressed)
+// against the three node architectures, comparing power draw, energy, and
+// QoS violations — the paper's Fig. 12 and the trace QoS discussion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poly"
+	"poly/internal/runtime"
+	"poly/internal/sim"
+)
+
+func main() {
+	tr := poly.SynthesizeTrace(5)
+	fmt.Printf("trace: 24 h, mean utilization %.0f%%, peak %.0f%%\n",
+		100*tr.Mean(), 100*tr.Peak())
+
+	fw, err := poly.Benchmark("ASR")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compress 24 h of trace shape into 10 min of simulated time, scaled
+	// to 80 % of the Heter-Poly node's maximum throughput.
+	const compressedMS = 600_000.0
+	heter, err := poly.NewBench(fw, poly.HeterPoly, poly.SettingI())
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxRPS, err := heter.MaxThroughputRPS(128, 10_000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compress := tr.DurationMS() / compressedMS
+	fmt.Printf("replaying at up to %.0f RPS (80%% of Poly max %.0f), 24 h → 10 min\n\n",
+		0.8*maxRPS, maxRPS)
+
+	for _, arch := range []poly.Architecture{poly.HomoGPU, poly.HomoFPGA, poly.HeterPoly} {
+		bench, err := poly.NewBench(fw, arch, poly.SettingI())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := runtime.NewWorkload(5)
+		w.InjectRate(sv, func(at sim.Time) float64 {
+			return 0.8 * maxRPS * tr.At(float64(at)*compress)
+		}, compressedMS, 5_000)
+		res := sv.Collect()
+		fmt.Printf("%-10s served %6d requests  avg power %6.1f W  energy %7.0f J  p99 %6.1f ms  violations %5.2f%%\n",
+			arch, res.Completed, res.AvgPowerW, res.EnergyMJ/1000, res.P99MS, 100*res.ViolationRatio())
+	}
+}

@@ -1,0 +1,3 @@
+module poly
+
+go 1.22

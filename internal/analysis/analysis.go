@@ -1,0 +1,245 @@
+// Package analysis implements Poly's automatic pattern analysis
+// (Section IV-A): given an annotated kernel, it lowers every pattern
+// instance to a CDFG, characterizes its data- and compute-parallelism, and
+// quantifies the communication intensity on every PPG edge under the two
+// data-transfer strategies (off-chip global memory vs on-chip scratchpad).
+// The result drives local and global optimization in internal/opt.
+package analysis
+
+import (
+	"fmt"
+
+	"poly/internal/cdfg"
+	"poly/internal/opencl"
+	"poly/internal/pattern"
+)
+
+// PatternInfo is the per-instance characterization.
+type PatternInfo struct {
+	Inst *pattern.Instance
+	CDFG *cdfg.Graph
+	// DataParallelism is the number of independent data elements the
+	// pattern can process concurrently (capacity-limited, Section IV-A).
+	DataParallelism int64
+	// ComputeParallelism is the number of independent operator slots
+	// (replication × intra-replica ILP).
+	ComputeParallelism int64
+	// InBytes/OutBytes are the pattern's external data footprints.
+	InBytes, OutBytes int64
+	// ArithIntensity is ops per byte moved — low values flag
+	// memory-bound patterns whose optimization is bandwidth-side.
+	ArithIntensity float64
+}
+
+// EdgeComm quantifies one PPG edge's communication under the two transfer
+// strategies. Costs are in abstract byte-cycles; the platform models scale
+// them by actual bandwidths.
+type EdgeComm struct {
+	Edge pattern.Edge
+	// GlobalTraffic is the off-chip traffic if the intermediate round-trips
+	// through global memory (write + read).
+	GlobalTraffic int64
+	// OnChipTraffic is the traffic if producer and consumer are fused and
+	// the intermediate stays in scratchpad/BRAM (single pass).
+	OnChipTraffic int64
+	// Intensity is the fraction of the kernel's total internal traffic
+	// carried by this edge — the "data communication intensity" of
+	// Section IV-A used to rank fusion opportunities.
+	Intensity float64
+}
+
+// FusionCandidate is an adjacent pattern pair whose intermediate fits in
+// on-chip memory, making fusion legal (Section IV-B, global optimization).
+type FusionCandidate struct {
+	From, To string
+	// BufferBytes is the on-chip capacity the fused intermediate needs.
+	BufferBytes int64
+	// Saving is the off-chip traffic eliminated by fusing.
+	Saving int64
+}
+
+// Kernel is the full analysis result for one kernel.
+type Kernel struct {
+	Name string
+	// Infos maps instance name → characterization.
+	Infos map[string]*PatternInfo
+	// Order is the PPG topological order.
+	Order []string
+	// Comms has one entry per PPG edge.
+	Comms []EdgeComm
+	// Fusible lists fusion candidates, highest saving first.
+	Fusible []FusionCandidate
+	// TotalOps is the kernel's total operator executions.
+	TotalOps int64
+	// GlobalBytes is the kernel's off-chip traffic with no fusion:
+	// kernel inputs + outputs + a round trip per internal edge.
+	GlobalBytes int64
+	// ConstBytes is the request-invariant (weight) portion of the kernel
+	// inputs; RequestBytes is the per-request remainder plus outputs.
+	ConstBytes, RequestBytes int64
+	// Repeat is how many times the kernel body runs per service request.
+	Repeat int
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// OnChipCapacityBytes bounds fusion candidates. Zero means the default
+	// 4 MiB (a mid-range FPGA BRAM / GPU scratchpad budget).
+	OnChipCapacityBytes int64
+	// MaxDataParallel caps reported data parallelism (hardware never
+	// instantiates more lanes than this). Zero means 4096.
+	MaxDataParallel int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.OnChipCapacityBytes == 0 {
+		o.OnChipCapacityBytes = 4 << 20
+	}
+	if o.MaxDataParallel == 0 {
+		o.MaxDataParallel = 4096
+	}
+	return o
+}
+
+// AnalyzeKernel characterizes one kernel.
+func AnalyzeKernel(k *opencl.Kernel, opts Options) (*Kernel, error) {
+	opts = opts.withDefaults()
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := k.Patterns.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	out := &Kernel{
+		Name:  k.Name,
+		Infos: make(map[string]*PatternInfo, k.Patterns.Len()),
+		Order: order,
+	}
+
+	for _, name := range order {
+		in := k.Patterns.Node(name)
+		g, err := cdfg.Build(in)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: kernel %q: %w", k.Name, err)
+		}
+		info := &PatternInfo{Inst: in, CDFG: g}
+
+		// Data parallelism: elements that are independent. Scan carries a
+		// serial prefix dependence; Reduce admits a tree so its effective
+		// parallelism halves level by level — characterize as elems/2.
+		dp := int64(in.Elems)
+		switch in.Kind {
+		case pattern.Scan:
+			dp = 1
+			if len(in.Funcs) > 0 && in.Funcs[0].Associative {
+				dp = int64(in.Elems) / 2 // Blelloch-style work-efficient scan
+			}
+		case pattern.Reduce:
+			dp = int64(in.Elems) / 2
+			if dp < 1 {
+				dp = 1
+			}
+		case pattern.Pipeline:
+			// Elements stream independently; whole pipelines replicate
+			// across compute units, so element count bounds parallelism
+			// (stage overlap is a timing property, not a width limit).
+			dp = int64(in.Elems)
+		}
+		if in.Irregular {
+			dp /= 4 // data-dependent indices serialize memory lanes
+			if dp < 1 {
+				dp = 1
+			}
+		}
+		if dp > opts.MaxDataParallel {
+			dp = opts.MaxDataParallel
+		}
+		info.DataParallelism = dp
+		info.ComputeParallelism = g.ComputeParallelism()
+
+		for _, e := range k.Patterns.Preds(name) {
+			info.InBytes += e.Bytes
+		}
+		info.OutBytes = in.OutputBytes()
+		moved := info.InBytes + info.OutBytes
+		if moved > 0 {
+			info.ArithIntensity = float64(in.TotalOps()) / float64(moved)
+		}
+		out.Infos[name] = info
+		out.TotalOps += in.TotalOps()
+	}
+
+	// Kernel inputs feed source patterns from global memory.
+	for _, name := range k.Patterns.Sources() {
+		info := out.Infos[name]
+		for i := range k.Inputs {
+			info.InBytes += k.Inputs[i].Bytes()
+		}
+	}
+
+	total := k.Patterns.TotalBytes()
+	for _, e := range k.Patterns.Edges() {
+		comm := EdgeComm{
+			Edge:          e,
+			GlobalTraffic: 2 * e.Bytes, // write then read back
+			OnChipTraffic: e.Bytes,
+		}
+		if total > 0 {
+			comm.Intensity = float64(e.Bytes) / float64(total)
+		}
+		out.Comms = append(out.Comms, comm)
+		if e.Bytes <= opts.OnChipCapacityBytes {
+			out.Fusible = append(out.Fusible, FusionCandidate{
+				From:        e.From,
+				To:          e.To,
+				BufferBytes: e.Bytes,
+				Saving:      2 * e.Bytes,
+			})
+		}
+	}
+	// Highest saving first; stable tie-break on names for determinism.
+	for i := 1; i < len(out.Fusible); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out.Fusible[j-1], out.Fusible[j]
+			if b.Saving > a.Saving || (b.Saving == a.Saving && b.From < a.From) {
+				out.Fusible[j-1], out.Fusible[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+
+	out.GlobalBytes = k.InputBytes() + k.OutputBytes() + 2*total
+	out.ConstBytes = k.ConstBytes()
+	out.RequestBytes = k.RequestBytes() + k.OutputBytes()
+	out.Repeat = k.Invocations()
+	return out, nil
+}
+
+// Program is the analysis of every kernel in a program.
+type Program struct {
+	Name    string
+	Kernels map[string]*Kernel
+	Order   []string
+}
+
+// AnalyzeProgram characterizes every kernel in a program.
+func AnalyzeProgram(p *opencl.Program, opts Options) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := p.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	out := &Program{Name: p.Name, Kernels: make(map[string]*Kernel), Order: order}
+	for _, k := range p.Kernels() {
+		ka, err := AnalyzeKernel(k, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Kernels[k.Name] = ka
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"testing"
+
+	"poly/internal/opencl"
+	"poly/internal/pattern"
+)
+
+const lstmSrc = `
+program asr
+latency_bound 200
+
+kernel lstm
+  in  x f32[1024]
+  in  w f32[1024x256]
+  gather   g1(w)
+  map      m1(x g1, func=mac ops=2 elems=1024)
+  reduce   r1(m1, func=add assoc elems=256)
+  map      m2(r1, func=sigmoid ops=4)
+  pipeline p1(m2, funcs=[mul:1 add:1 tanh:4])
+  out p1
+`
+
+func analyzeLSTM(t *testing.T) *Kernel {
+	t.Helper()
+	prog := opencl.MustParse(lstmSrc)
+	ka, err := AnalyzeKernel(prog.Kernel("lstm"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ka
+}
+
+func TestAnalyzeKernelBasics(t *testing.T) {
+	ka := analyzeLSTM(t)
+	if len(ka.Infos) != 5 {
+		t.Fatalf("infos = %d", len(ka.Infos))
+	}
+	if len(ka.Order) != 5 || ka.Order[len(ka.Order)-1] != "p1" {
+		t.Fatalf("order = %v", ka.Order)
+	}
+	if ka.TotalOps <= 0 || ka.GlobalBytes <= 0 {
+		t.Fatalf("totals: ops=%d bytes=%d", ka.TotalOps, ka.GlobalBytes)
+	}
+}
+
+func TestDataParallelismSemantics(t *testing.T) {
+	ka := analyzeLSTM(t)
+	m1 := ka.Infos["m1"]
+	if m1.DataParallelism != 1024 {
+		t.Fatalf("map DP = %d, want 1024 (full element count)", m1.DataParallelism)
+	}
+	r1 := ka.Infos["r1"]
+	if r1.DataParallelism != 128 {
+		t.Fatalf("reduce DP = %d, want elems/2 = 128", r1.DataParallelism)
+	}
+	p1 := ka.Infos["p1"]
+	if p1.DataParallelism != 256 {
+		t.Fatalf("pipeline DP = %d, want element count 256", p1.DataParallelism)
+	}
+	if m1.ComputeParallelism < m1.DataParallelism {
+		t.Fatalf("compute parallelism %d < data parallelism %d", m1.ComputeParallelism, m1.DataParallelism)
+	}
+}
+
+func TestDataParallelismCap(t *testing.T) {
+	prog := opencl.MustParse(`
+program p
+kernel k
+  in x f32[100000]
+  map m(x, func=f ops=1)
+`)
+	ka, err := AnalyzeKernel(prog.Kernel("k"), Options{MaxDataParallel: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka.Infos["m"].DataParallelism != 512 {
+		t.Fatalf("DP cap not applied: %d", ka.Infos["m"].DataParallelism)
+	}
+}
+
+func TestIrregularPenalty(t *testing.T) {
+	prog := opencl.MustParse(`
+program p
+kernel k
+  in x f32[1024]
+  gather g(x, irregular)
+  map m(g, func=f ops=1)
+`)
+	ka, err := AnalyzeKernel(prog.Kernel("k"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ka.Infos["g"].DataParallelism; got != 256 {
+		t.Fatalf("irregular gather DP = %d, want 1024/4", got)
+	}
+}
+
+func TestScanSerialVsAssociative(t *testing.T) {
+	prog := opencl.MustParse(`
+program p
+kernel k
+  in x f32[64]
+  scan s1(x, func=add)
+  scan s2(x, func=add assoc)
+`)
+	ka, err := AnalyzeKernel(prog.Kernel("k"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka.Infos["s1"].DataParallelism != 1 {
+		t.Fatalf("non-associative scan DP = %d, want 1", ka.Infos["s1"].DataParallelism)
+	}
+	if ka.Infos["s2"].DataParallelism != 32 {
+		t.Fatalf("associative scan DP = %d, want 32", ka.Infos["s2"].DataParallelism)
+	}
+}
+
+func TestCommunicationAndFusion(t *testing.T) {
+	ka := analyzeLSTM(t)
+	if len(ka.Comms) != 4 {
+		t.Fatalf("comms = %d, want 4 edges", len(ka.Comms))
+	}
+	var sum float64
+	for _, c := range ka.Comms {
+		if c.GlobalTraffic != 2*c.Edge.Bytes || c.OnChipTraffic != c.Edge.Bytes {
+			t.Fatalf("traffic model wrong: %+v", c)
+		}
+		sum += c.Intensity
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("intensities sum to %v, want 1", sum)
+	}
+	if len(ka.Fusible) == 0 {
+		t.Fatal("no fusion candidates on small intermediates")
+	}
+	for i := 1; i < len(ka.Fusible); i++ {
+		if ka.Fusible[i].Saving > ka.Fusible[i-1].Saving {
+			t.Fatal("fusion candidates not sorted by saving")
+		}
+	}
+	for _, f := range ka.Fusible {
+		if f.Saving != 2*f.BufferBytes {
+			t.Fatalf("fusion saving %d != 2×buffer %d", f.Saving, f.BufferBytes)
+		}
+	}
+}
+
+func TestFusionRespectsCapacity(t *testing.T) {
+	prog := opencl.MustParse(`
+program p
+kernel k
+  in x f32[1048576]
+  map m1(x, func=f ops=1)
+  map m2(m1, func=g ops=1)
+`)
+	// m1→m2 carries 4 MiB; capacity of 1 KiB forbids fusion.
+	ka, err := AnalyzeKernel(prog.Kernel("k"), Options{OnChipCapacityBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ka.Fusible) != 0 {
+		t.Fatalf("fusion allowed beyond capacity: %+v", ka.Fusible)
+	}
+}
+
+func TestSourcePatternsChargeKernelInputs(t *testing.T) {
+	ka := analyzeLSTM(t)
+	g1 := ka.Infos["g1"]
+	// g1 is a source: it must be charged the kernel input bytes.
+	wantIn := int64(1024*4 + 1024*256*4)
+	if g1.InBytes != wantIn {
+		t.Fatalf("source InBytes = %d, want %d", g1.InBytes, wantIn)
+	}
+	if g1.ArithIntensity <= 0 {
+		t.Fatal("arith intensity must be positive")
+	}
+}
+
+func TestAnalyzeProgram(t *testing.T) {
+	prog := opencl.MustParse(lstmSrc)
+	pa, err := AnalyzeProgram(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.Kernels) != 1 || pa.Kernels["lstm"] == nil {
+		t.Fatalf("program analysis kernels = %v", pa.Order)
+	}
+	if len(pa.Order) != 1 {
+		t.Fatalf("order = %v", pa.Order)
+	}
+}
+
+func TestAnalyzeRejectsInvalidKernel(t *testing.T) {
+	k := &opencl.Kernel{Name: "bad", Patterns: pattern.NewGraph()}
+	if _, err := AnalyzeKernel(k, Options{}); err == nil {
+		t.Fatal("invalid kernel accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Package apps defines the six QoS-sensitive benchmark applications of
+// Table II — Automatic Speech Recognition (ASR), Finance Quantitative
+// Trading (FQT), Image Recognition (IR), Cloud Storage (CS), Online
+// Matrix Factorization (MF), and WebP Transcoding (WT).
+//
+// Each application contributes two artifacts:
+//
+//   - an annotated OpenCL-style Program (the kernel DAG with parallel
+//     pattern annotations) that the offline analyzer, DSE, and runtime
+//     scheduler operate on, with per-kernel work sizes calibrated to the
+//     paper's latency anchors (Fig. 1(e,f), 200 ms QoS bound); and
+//   - a reference computational implementation built on internal/exec
+//     (LSTM cells, Black-Scholes, GF(2^8) Reed-Solomon, arithmetic
+//     coding, …), so the kernels the scheduler places are real, testable
+//     computations rather than opaque cost tuples.
+package apps
+
+import "poly/internal/opencl"
+
+// App couples a benchmark's annotated program with metadata.
+type App struct {
+	// Name is the short code used throughout the paper (ASR, FQT, …).
+	Name string
+	// Title is the full benchmark name from Table II.
+	Title string
+	// Program is the annotated kernel DAG.
+	Program *opencl.Program
+}
+
+// All returns the six benchmarks in Table II order. Programs are built
+// fresh on every call so callers may mutate them safely.
+func All() []App {
+	return []App{
+		{Name: "ASR", Title: "Automatic Speech Recognition", Program: ASRProgram()},
+		{Name: "FQT", Title: "Finance Quantitative Trading", Program: FQTProgram()},
+		{Name: "IR", Title: "Image Recognition", Program: IRProgram()},
+		{Name: "CS", Title: "Cloud Storage", Program: CSProgram()},
+		{Name: "MF", Title: "Online Matrix Factorization", Program: MFProgram()},
+		{Name: "WT", Title: "WebP Transcoding", Program: WTProgram()},
+	}
+}
+
+// ByName returns the named benchmark or false.
+func ByName(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Names returns the six benchmark codes in Table II order.
+func Names() []string {
+	return []string{"ASR", "FQT", "IR", "CS", "MF", "WT"}
+}

@@ -1,0 +1,494 @@
+package apps
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"poly/internal/analysis"
+	"poly/internal/exec"
+	"poly/internal/pattern"
+)
+
+// TestAllProgramsParseAndValidate is the Table II structural check: six
+// apps, each with its listed kernels, all analyzable.
+func TestAllProgramsParseAndValidate(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("apps = %d, want 6", len(all))
+	}
+	wantKernels := map[string]int{
+		"ASR": 4, // Fig. 6: K1..K4
+		"FQT": 3, // PRNG, Black-Scholes, Reduce
+		"IR":  3, // Conv, Pool, FC
+		"CS":  2, // RS Encoder, RS Decoder
+		"MF":  2, // Read Data, SGD update
+		"WT":  3, // Intra-prediction, Prob counting, Arithmetic coding
+	}
+	for _, app := range all {
+		if err := app.Program.Validate(); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if got := len(app.Program.Kernels()); got != wantKernels[app.Name] {
+			t.Errorf("%s: %d kernels, want %d", app.Name, got, wantKernels[app.Name])
+		}
+		if app.Program.LatencyBoundMS != 200 {
+			t.Errorf("%s: bound %v, want the paper's 200 ms", app.Name, app.Program.LatencyBoundMS)
+		}
+		if _, err := analysis.AnalyzeProgram(app.Program, analysis.Options{}); err != nil {
+			t.Fatalf("%s: analysis failed: %v", app.Name, err)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if len(Names()) != 6 {
+		t.Fatal("Names must list six benchmarks")
+	}
+	a, ok := ByName("ASR")
+	if !ok || a.Name != "ASR" {
+		t.Fatal("ByName(ASR) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName must reject unknown names")
+	}
+}
+
+// TestASRPatternVocabulary checks Table II's pattern lists per app.
+func TestPatternVocabulary(t *testing.T) {
+	has := func(progName, kernel string, kinds ...pattern.Kind) {
+		t.Helper()
+		app, _ := ByName(progName)
+		k := app.Program.Kernel(kernel)
+		if k == nil {
+			t.Fatalf("%s: kernel %q missing", progName, kernel)
+		}
+		present := map[pattern.Kind]bool{}
+		for _, in := range k.Patterns.Instances() {
+			present[in.Kind] = true
+		}
+		for _, kind := range kinds {
+			if !present[kind] {
+				t.Errorf("%s/%s: pattern %v missing", progName, kernel, kind)
+			}
+		}
+	}
+	has("ASR", "k1_lstm_fwd", pattern.Map, pattern.Reduce, pattern.Pipeline, pattern.Tiling)
+	has("ASR", "k4_fc", pattern.Map, pattern.Pipeline, pattern.Pack)
+	has("FQT", "prng", pattern.Map, pattern.Pipeline)
+	has("FQT", "reduce", pattern.Reduce, pattern.Pack)
+	has("IR", "conv", pattern.Gather, pattern.Map, pattern.Pipeline, pattern.Stencil, pattern.Tiling, pattern.Scatter)
+	has("IR", "pool", pattern.Map, pattern.Stencil, pattern.Tiling)
+	has("CS", "rs_encode", pattern.Gather, pattern.Map, pattern.Pipeline, pattern.Scatter, pattern.Tiling)
+	has("MF", "read_data", pattern.Gather, pattern.Pack, pattern.Tiling)
+	has("WT", "arith_code", pattern.Scatter, pattern.Map, pattern.Pipeline, pattern.Stencil)
+}
+
+func TestLSTMCellStepIsBoundedAndStateful(t *testing.T) {
+	cell := NewLSTMCell(32)
+	cx := exec.DefaultCtx
+	x := exec.NewTensor(32)
+	for i := range x.Data {
+		x.Data[i] = math.Sin(float64(i))
+	}
+	h := exec.NewTensor(32)
+	c := exec.NewTensor(32)
+	h1, c1 := cell.Step(cx, x, h, c)
+	h2, _ := cell.Step(cx, x, h1, c1)
+	var moved bool
+	for i := range h1.Data {
+		if math.Abs(h1.Data[i]) > 1 {
+			t.Fatalf("hidden state out of tanh range: %v", h1.Data[i])
+		}
+		if h1.Data[i] != h2.Data[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("state did not evolve across steps")
+	}
+	frames := []*exec.Tensor{x, x, x}
+	if out := cell.Forward(cx, frames); out.Len() != 32 {
+		t.Fatal("forward output wrong width")
+	}
+}
+
+func TestFullyConnectedSoftmax(t *testing.T) {
+	cx := exec.DefaultCtx
+	w := exec.NewTensor(4, 3)
+	for i := range w.Data {
+		w.Data[i] = float64(i)
+	}
+	x := exec.FromSlice([]float64{0.1, 0.2, 0.3})
+	out := FullyConnected(cx, w, x)
+	var sum float64
+	for _, v := range out.Data {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax out of range: %v", out.Data)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	// Monotone logits → monotone probabilities.
+	for i := 1; i < out.Len(); i++ {
+		if out.Data[i] <= out.Data[i-1] {
+			t.Fatal("softmax order violated")
+		}
+	}
+}
+
+func TestXorShiftStatistics(t *testing.T) {
+	g := NewXorShift64(42)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := g.Float64()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("uniform sample %v outside (0,1)", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v", mean)
+	}
+	varc := sumSq/n - mean*mean
+	if math.Abs(varc-1.0/12) > 0.01 {
+		t.Fatalf("uniform variance = %v", varc)
+	}
+	if NewXorShift64(0).Next() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestGaussianTensorMoments(t *testing.T) {
+	z := GaussianTensor(7, 200000)
+	var sum, sumSq float64
+	for _, v := range z.Data {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(z.Len())
+	mean := sum / n
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("gaussian mean = %v", mean)
+	}
+	if sd := math.Sqrt(sumSq/n - mean*mean); math.Abs(sd-1) > 0.02 {
+		t.Fatalf("gaussian stddev = %v", sd)
+	}
+}
+
+func TestMonteCarloConvergesToBlackScholes(t *testing.T) {
+	p := BSParams{Spot: 100, Strike: 105, Rate: 0.02, Vol: 0.25, Tenor: 1}
+	closed := p.CallPrice()
+	if closed <= 0 || closed >= p.Spot {
+		t.Fatalf("closed-form price %v implausible", closed)
+	}
+	mc := MonteCarloCall(exec.DefaultCtx, p, GaussianTensor(11, 400000))
+	if rel := math.Abs(mc-closed) / closed; rel > 0.02 {
+		t.Fatalf("Monte Carlo %v vs closed form %v (rel err %v)", mc, closed, rel)
+	}
+	// Degenerate tenor returns intrinsic value.
+	if (BSParams{Spot: 110, Strike: 100}).CallPrice() != 10 {
+		t.Fatal("zero-tenor price must be intrinsic")
+	}
+}
+
+func TestConv2DAndPooling(t *testing.T) {
+	cx := exec.DefaultCtx
+	in := exec.NewTensor(4, 4)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	k := exec.NewTensor(2, 2)
+	k.Data = []float64{1, 0, 0, 1} // trace filter
+	out := Conv2D(cx, in, k)
+	if out.Shape[0] != 3 || out.Shape[1] != 3 {
+		t.Fatalf("conv shape = %v", out.Shape)
+	}
+	if out.At(0, 0) != in.At(0, 0)+in.At(1, 1) {
+		t.Fatalf("conv value = %v", out.At(0, 0))
+	}
+	p := MaxPool2D(cx, in, 2)
+	if p.Shape[0] != 2 || p.At(0, 0) != 5 || p.At(1, 1) != 15 {
+		t.Fatalf("pool = %+v", p)
+	}
+	r := ReLU(cx, exec.FromSlice([]float64{-1, 2}))
+	if r.Data[0] != 0 || r.Data[1] != 2 {
+		t.Fatal("relu wrong")
+	}
+}
+
+func TestClassifyEndToEnd(t *testing.T) {
+	cx := exec.DefaultCtx
+	img := exec.NewTensor(10, 10)
+	for i := range img.Data {
+		img.Data[i] = float64(i%7) / 7
+	}
+	filters := []*exec.Tensor{exec.NewTensor(3, 3), exec.NewTensor(3, 3)}
+	filters[0].Data[4] = 1 // identity tap
+	for i := range filters[1].Data {
+		filters[1].Data[i] = 1.0 / 9
+	}
+	// Each filter yields an 8×8 conv → 4×4 pool = 16 features; 2 filters = 32.
+	fcW := exec.NewTensor(5, 32)
+	for i := range fcW.Data {
+		fcW.Data[i] = math.Sin(float64(i))
+	}
+	scores := Classify(cx, img, filters, fcW, 2)
+	var sum float64
+	for _, v := range scores.Data {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("class scores sum to %v", sum)
+	}
+}
+
+func TestGF256FieldAxioms(t *testing.T) {
+	gf := NewGF256()
+	f := func(a, b, c byte) bool {
+		// Commutativity and associativity of Mul, distributivity over XOR.
+		if gf.Mul(a, b) != gf.Mul(b, a) {
+			return false
+		}
+		if gf.Mul(a, gf.Mul(b, c)) != gf.Mul(gf.Mul(a, b), c) {
+			return false
+		}
+		if gf.Mul(a, b^c) != gf.Mul(a, b)^gf.Mul(a, c) {
+			return false
+		}
+		// Inverses.
+		if a != 0 && gf.Mul(a, gf.Inv(a)) != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if gf.Mul(0, 7) != 0 || gf.Mul(1, 9) != 9 {
+		t.Fatal("GF identity/zero wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero must panic")
+		}
+	}()
+	gf.Div(3, 0)
+}
+
+func TestRSRoundTripUnderErasures(t *testing.T) {
+	rs, err := NewRS(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]byte, 6)
+	for i := range data {
+		data[i] = make([]byte, 64)
+		for j := range data[i] {
+			data[i][j] = byte(i*31 + j*7)
+		}
+	}
+	shards, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 9 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	// Erase any 3 shards (here: two data + one parity).
+	shards[1], shards[4], shards[7] = nil, nil, nil
+	got, err := rs.Decode(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("shard %d not reconstructed", i)
+		}
+	}
+}
+
+func TestRSRandomErasureProperty(t *testing.T) {
+	rs, err := NewRS(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(payload []byte, eraseA, eraseB uint8) bool {
+		if len(payload) == 0 {
+			payload = []byte{1}
+		}
+		size := (len(payload) + 3) / 4
+		data := make([][]byte, 4)
+		for i := range data {
+			data[i] = make([]byte, size)
+			for j := range data[i] {
+				if idx := i*size + j; idx < len(payload) {
+					data[i][j] = payload[idx]
+				}
+			}
+		}
+		shards, err := rs.Encode(data)
+		if err != nil {
+			return false
+		}
+		a, b := int(eraseA)%6, int(eraseB)%6
+		shards[a] = nil
+		shards[b] = nil
+		got, err := rs.Decode(shards)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSErrors(t *testing.T) {
+	if _, err := NewRS(0, 2); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewRS(200, 100); err == nil {
+		t.Fatal("k+m>255 accepted")
+	}
+	rs, _ := NewRS(3, 2)
+	if _, err := rs.Encode([][]byte{{1}}); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	if _, err := rs.Encode([][]byte{{1}, {2, 3}, {4}}); err == nil {
+		t.Fatal("ragged shards accepted")
+	}
+	shards, _ := rs.Encode([][]byte{{1}, {2}, {3}})
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if _, err := rs.Decode(shards); err == nil {
+		t.Fatal("undecodable erasure pattern accepted")
+	}
+	if _, err := rs.Decode([][]byte{{1}}); err == nil {
+		t.Fatal("wrong decode arity accepted")
+	}
+}
+
+func TestMFTrainingReducesError(t *testing.T) {
+	m := NewMFModel(20, 30, 8)
+	g := NewXorShift64(5)
+	var batch []Rating
+	for i := 0; i < 200; i++ {
+		batch = append(batch, Rating{
+			User:  int(g.Next() % 20),
+			Item:  int(g.Next() % 30),
+			Value: 1 + 4*g.Float64(),
+		})
+	}
+	first, err := m.SGDStep(batch, 0.02, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := m.Train(batch, 0.02, 0.001, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first*0.5 {
+		t.Fatalf("SGD did not converge: first MSE %v, last %v", first, last)
+	}
+}
+
+func TestMFErrors(t *testing.T) {
+	m := NewMFModel(2, 2, 2)
+	if _, err := m.SGDStep([]Rating{{User: 5, Item: 0}}, 0.1, 0); err == nil {
+		t.Fatal("out-of-range rating accepted")
+	}
+	if _, err := m.SGDStep(nil, -1, 0); err == nil {
+		t.Fatal("negative learning rate accepted")
+	}
+	if mse, err := m.SGDStep(nil, 0.1, 0); err != nil || mse != 0 {
+		t.Fatal("empty batch should be a no-op")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry must panic")
+		}
+	}()
+	NewMFModel(0, 1, 1)
+}
+
+func TestIntraPredictionReducesEnergy(t *testing.T) {
+	cx := exec.DefaultCtx
+	img := exec.NewTensor(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			img.Data[y*64+x] = 100 + 20*math.Sin(float64(y)/9) // smooth image
+		}
+	}
+	resid := IntraPredictDC(cx, img, 8)
+	var imgE, residE float64
+	for i := range img.Data {
+		imgE += img.Data[i] * img.Data[i]
+		residE += resid.Data[i] * resid.Data[i]
+	}
+	if residE >= imgE/10 {
+		t.Fatalf("prediction left too much energy: %v vs %v", residE, imgE)
+	}
+}
+
+func TestCountProbabilities(t *testing.T) {
+	p := CountProbabilities([]byte{0, 0, 1, 2})
+	if p[0] != 0.5 || p[1] != 0.25 || p[2] != 0.25 || p[3] != 0 {
+		t.Fatalf("probabilities = %v", p[:4])
+	}
+	if CountProbabilities(nil)[0] != 0 {
+		t.Fatal("empty input must give zero histogram")
+	}
+}
+
+func TestArithmeticCodingRoundTrip(t *testing.T) {
+	msg := []byte("poly reproduces HPCA 2019: heterogeneous scheduling for QoS!")
+	enc := NewArithmeticCoder().Encode(msg)
+	got, err := NewArithmeticCoder().Decode(enc, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip failed:\n got %q\nwant %q", got, msg)
+	}
+}
+
+func TestArithmeticCodingCompressesSkewedData(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 4000)
+	for i := 0; i < 40; i++ {
+		data[i*100] = byte(i)
+	}
+	enc := NewArithmeticCoder().Encode(data)
+	if len(enc) >= len(data)/4 {
+		t.Fatalf("no compression: %d -> %d bytes", len(data), len(enc))
+	}
+	got, err := NewArithmeticCoder().Decode(enc, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("skewed round trip failed: %v", err)
+	}
+}
+
+func TestArithmeticCodingRandomProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 2000 {
+			data = data[:2000]
+		}
+		enc := NewArithmeticCoder().Encode(data)
+		got, err := NewArithmeticCoder().Decode(enc, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

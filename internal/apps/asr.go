@@ -1,0 +1,170 @@
+package apps
+
+import (
+	"math"
+
+	"poly/internal/exec"
+	"poly/internal/opencl"
+)
+
+// asrSrc is the ASR service of the motivation study: a bidirectional LSTM
+// acoustic model feeding a fully-connected output layer. The DAG follows
+// Fig. 6 — two independent paths merging at K4:
+//
+//	k1_lstm_fwd ────────────────────────────┐
+//	k2_lstm_bwd ──► k3_attention ──► k4_fc ─┘→ result
+//
+// K1/K2 come from Map patterns (the gate matvecs), K3 from Reduce
+// (attention pooling), K4 is the FC layer (Table II: Map, Pipeline,
+// Pack). Work sizes (hidden width, frame counts) are calibrated so the
+// most energy-efficient designs land near the per-kernel latencies of
+// Fig. 1(e,f): K1 ≈ 102/109 ms, K2 ≈ 57/50 ms, K3 ≈ 52/45 ms,
+// K4 ≈ 78/75 ms on GPU/FPGA.
+const asrSrc = `
+program ASR
+latency_bound 200
+
+# K1: forward LSTM over the utterance (the long direction).
+kernel k1_lstm_fwd
+  repeat 1800
+  const w f32[1024x768]
+  in x f32[768]
+  tiling t(x, size=[64 1 1] count=[12 1 1])
+  map    gates(t w, func=mac ops=1536 elems=1024)
+  reduce acc(gates, func=add assoc elems=1024)
+  pipeline act(acc, funcs=[sigmoid:8 mul:1 tanh:8 mul:1])
+  out act
+
+# K2: backward LSTM over a decimated frame sequence.
+kernel k2_lstm_bwd
+  repeat 900
+  const w f32[1024x768]
+  in x f32[768]
+  tiling t(x, size=[64 1 1] count=[12 1 1])
+  map    gates(t w, func=mac ops=1536 elems=1024)
+  reduce acc(gates, func=add assoc elems=1024)
+  pipeline act(acc, funcs=[sigmoid:8 mul:1 tanh:8 mul:1])
+  out act
+
+# K3: attention pooling over the backward states.
+kernel k3_attention
+  repeat 900
+  const w f32[1024x512]
+  in h f32[1024]
+  map    score(h w, func=mac ops=1024 elems=1024)
+  reduce ctx(score, func=add assoc elems=512)
+  map    norm(ctx, func=exp ops=8)
+  out norm
+
+# K4: fully-connected output layer over the merged features.
+kernel k4_fc
+  repeat 1800
+  const w f32[1536x512]
+  in h f32[1536]
+  pack   p(h)
+  map    proj(p w, func=mac ops=1024 elems=768)
+  pipeline soft(proj, funcs=[exp:8 div:8])
+  out soft
+
+edge k1_lstm_fwd -> k4_fc bytes=8192
+edge k2_lstm_bwd -> k3_attention bytes=4096
+edge k3_attention -> k4_fc bytes=2048
+`
+
+// ASRProgram returns the annotated ASR service.
+func ASRProgram() *opencl.Program { return opencl.MustParse(asrSrc) }
+
+// LSTMCell is a reference long short-term memory cell: four gate matvecs
+// plus the elementwise state update, matching the PPG of Fig. 4(a).
+type LSTMCell struct {
+	Hidden int
+	// Wi, Wf, Wg, Wo are the (hidden × 2·hidden) gate weights over the
+	// concatenated [x, h] vector.
+	Wi, Wf, Wg, Wo *exec.Tensor
+	// Bi, Bf, Bg, Bo are the gate biases.
+	Bi, Bf, Bg, Bo *exec.Tensor
+}
+
+// NewLSTMCell builds a cell with deterministic small weights so tests are
+// reproducible without a random dependency.
+func NewLSTMCell(hidden int) *LSTMCell {
+	mk := func(seed float64) *exec.Tensor {
+		w := exec.NewTensor(hidden, 2*hidden)
+		for i := range w.Data {
+			// Small, sign-alternating weights keep activations in range.
+			w.Data[i] = 0.05 * math.Sin(seed+float64(i)*0.7)
+		}
+		return w
+	}
+	bias := func(seed float64) *exec.Tensor {
+		b := exec.NewTensor(hidden)
+		for i := range b.Data {
+			b.Data[i] = 0.01 * math.Cos(seed+float64(i))
+		}
+		return b
+	}
+	return &LSTMCell{
+		Hidden: hidden,
+		Wi:     mk(1), Wf: mk(2), Wg: mk(3), Wo: mk(4),
+		Bi: bias(1), Bf: bias(2), Bg: bias(3), Bo: bias(4),
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Step advances the cell one frame: given input x and previous (h, c),
+// it returns the next (h, c). Built from Map/Reduce/Pipeline executors.
+func (l *LSTMCell) Step(cx exec.Ctx, x, h, c *exec.Tensor) (hNext, cNext *exec.Tensor) {
+	if x.Len() != l.Hidden || h.Len() != l.Hidden || c.Len() != l.Hidden {
+		panic("apps: LSTM step dimension mismatch")
+	}
+	xh := exec.NewTensor(2 * l.Hidden)
+	copy(xh.Data[:l.Hidden], x.Data)
+	copy(xh.Data[l.Hidden:], h.Data)
+
+	gate := func(w, b *exec.Tensor, act func(float64) float64) *exec.Tensor {
+		z := cx.MatVec(w, xh)
+		cx.Zip(z, z, b, func(a, bv float64) float64 { return a + bv })
+		out := exec.NewTensor(l.Hidden)
+		cx.Map(out, z, act)
+		return out
+	}
+	i := gate(l.Wi, l.Bi, sigmoid)
+	f := gate(l.Wf, l.Bf, sigmoid)
+	g := gate(l.Wg, l.Bg, math.Tanh)
+	o := gate(l.Wo, l.Bo, sigmoid)
+
+	cNext = exec.NewTensor(l.Hidden)
+	cx.Zip(cNext, f, c, func(fv, cv float64) float64 { return fv * cv })
+	ig := exec.NewTensor(l.Hidden)
+	cx.Zip(ig, i, g, func(iv, gv float64) float64 { return iv * gv })
+	cx.Zip(cNext, cNext, ig, func(a, b float64) float64 { return a + b })
+
+	hNext = exec.NewTensor(l.Hidden)
+	cx.Zip(hNext, o, cNext, func(ov, cv float64) float64 { return ov * math.Tanh(cv) })
+	return hNext, cNext
+}
+
+// Forward runs the cell over a frame sequence and returns the final
+// hidden state — the reference computation for the ASR K1/K2 kernels.
+func (l *LSTMCell) Forward(cx exec.Ctx, frames []*exec.Tensor) *exec.Tensor {
+	h := exec.NewTensor(l.Hidden)
+	c := exec.NewTensor(l.Hidden)
+	for _, x := range frames {
+		h, c = l.Step(cx, x, h, c)
+	}
+	return h
+}
+
+// FullyConnected applies out = softmax(W·x) — the reference computation
+// for the ASR K4 kernel.
+func FullyConnected(cx exec.Ctx, w, x *exec.Tensor) *exec.Tensor {
+	z := cx.MatVec(w, x)
+	max := cx.Reduce(z, math.Inf(-1), math.Max)
+	e := exec.NewTensor(z.Len())
+	cx.Map(e, z, func(v float64) float64 { return math.Exp(v - max) })
+	sum := cx.Reduce(e, 0, func(a, b float64) float64 { return a + b })
+	out := exec.NewTensor(z.Len())
+	cx.Map(out, e, func(v float64) float64 { return v / sum })
+	return out
+}

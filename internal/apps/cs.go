@@ -1,0 +1,234 @@
+package apps
+
+import (
+	"fmt"
+
+	"poly/internal/opencl"
+)
+
+// csSrc is the Cloud Storage service (Table II): OpenCL-based erasure
+// coding [54]. A write path Reed-Solomon-encodes object stripes; the read
+// path reconstructs from surviving shards. Both kernels are
+// gather/scatter + custom-IP dominated, which restricts restructuring and
+// rewards FPGA pipelines with burst memory access.
+const csSrc = `
+program CS
+latency_bound 200
+
+kernel rs_encode
+  repeat 25
+  const gf u8[65536]
+  in data u8[1048576]
+  gather  stripe(data, elems=1048576 elem=u8)
+  tiling  shard(stripe, size=[256 1 1] count=[4096 1 1] elem=u8)
+  map     parity(shard gf, func=gfmac ops=32 custom elems=1048576 elem=u8)
+  pipeline xorfold(parity, funcs=[xor:1 xor:1])
+  scatter out_shards(xorfold, elems=1310720 elem=u8)
+  out out_shards
+
+kernel rs_decode
+  repeat 25
+  const gf u8[65536]
+  in shards u8[1310720]
+  gather  survive(shards, irregular elems=1048576 elem=u8)
+  tiling  group(survive, size=[256 1 1] count=[4096 1 1] elem=u8)
+  map     solve(group gf, func=gfmac ops=64 custom elems=1048576 elem=u8)
+  pipeline fold(solve, funcs=[xor:1 xor:1])
+  scatter restore(fold, elems=1048576 elem=u8)
+  out restore
+
+edge rs_encode -> rs_decode bytes=1310720
+`
+
+// CSProgram returns the annotated CS service.
+func CSProgram() *opencl.Program { return opencl.MustParse(csSrc) }
+
+// GF256 is the Galois field GF(2^8) with the AES polynomial 0x11D,
+// backing the Reed-Solomon codec below (the "custom IP" of the CS
+// kernels is exactly these tables).
+type GF256 struct {
+	exp [512]byte
+	log [256]byte
+}
+
+// NewGF256 builds the log/antilog tables.
+func NewGF256() *GF256 {
+	g := &GF256{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		g.exp[i] = byte(x)
+		g.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11D
+		}
+	}
+	for i := 255; i < 512; i++ {
+		g.exp[i] = g.exp[i-255]
+	}
+	return g
+}
+
+// Mul multiplies in the field.
+func (g *GF256) Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return g.exp[int(g.log[a])+int(g.log[b])]
+}
+
+// Div divides a by b (b must be non-zero).
+func (g *GF256) Div(a, b byte) byte {
+	if b == 0 {
+		panic("apps: GF(256) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return g.exp[int(g.log[a])+255-int(g.log[b])]
+}
+
+// Inv returns the multiplicative inverse.
+func (g *GF256) Inv(a byte) byte { return g.Div(1, a) }
+
+// Exp returns the generator raised to n.
+func (g *GF256) Exp(n int) byte { return g.exp[n%255] }
+
+// RS is a systematic Reed-Solomon erasure code with k data shards and m
+// parity shards over GF(2^8), built on a Vandermonde-derived encoding
+// matrix. It tolerates any m shard erasures.
+type RS struct {
+	gf   *GF256
+	K, M int
+	// rows[i] is the encoding row for parity shard i (length K).
+	rows [][]byte
+}
+
+// NewRS builds a code with k data and m parity shards. k+m must be ≤ 255
+// and both positive.
+func NewRS(k, m int) (*RS, error) {
+	if k <= 0 || m <= 0 || k+m > 255 {
+		return nil, fmt.Errorf("apps: invalid RS geometry k=%d m=%d", k, m)
+	}
+	gf := NewGF256()
+	rs := &RS{gf: gf, K: k, M: m}
+	// Parity row i evaluates the data polynomial at x = g^i; any K of the
+	// K+M resulting shares determine the polynomial (Vandermonde
+	// invertibility over distinct points).
+	for i := 0; i < m; i++ {
+		row := make([]byte, k)
+		x := gf.Exp(i + 1)
+		p := byte(1)
+		for j := 0; j < k; j++ {
+			row[j] = p
+			p = gf.Mul(p, x)
+		}
+		rs.rows = append(rs.rows, row)
+	}
+	return rs, nil
+}
+
+// Encode appends m parity shards to k equal-length data shards. The
+// returned slice aliases the input data shards (systematic code).
+func (rs *RS) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != rs.K {
+		return nil, fmt.Errorf("apps: RS encode needs %d data shards, got %d", rs.K, len(data))
+	}
+	size := len(data[0])
+	for _, d := range data {
+		if len(d) != size {
+			return nil, fmt.Errorf("apps: RS shards must be equal length")
+		}
+	}
+	out := append([][]byte(nil), data...)
+	for i := 0; i < rs.M; i++ {
+		parity := make([]byte, size)
+		row := rs.rows[i]
+		for j := 0; j < rs.K; j++ {
+			c := row[j]
+			if c == 0 {
+				continue
+			}
+			src := data[j]
+			for b := 0; b < size; b++ {
+				parity[b] ^= rs.gf.Mul(c, src[b])
+			}
+		}
+		out = append(out, parity)
+	}
+	return out, nil
+}
+
+// Decode reconstructs the k data shards from any k surviving shards.
+// shards has length k+m with nil entries marking erasures.
+func (rs *RS) Decode(shards [][]byte) ([][]byte, error) {
+	if len(shards) != rs.K+rs.M {
+		return nil, fmt.Errorf("apps: RS decode needs %d shards, got %d", rs.K+rs.M, len(shards))
+	}
+	var present []int
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, fmt.Errorf("apps: RS shards must be equal length")
+		}
+		present = append(present, i)
+	}
+	if len(present) < rs.K {
+		return nil, fmt.Errorf("apps: unrecoverable: %d survivors < k=%d", len(present), rs.K)
+	}
+	present = present[:rs.K]
+
+	// Build the K×K system mapping data words to the surviving shards.
+	mat := make([][]byte, rs.K)
+	rhs := make([][]byte, rs.K)
+	for r, idx := range present {
+		row := make([]byte, rs.K)
+		if idx < rs.K {
+			row[idx] = 1
+		} else {
+			copy(row, rs.rows[idx-rs.K])
+		}
+		mat[r] = row
+		rhs[r] = append([]byte(nil), shards[idx]...)
+	}
+	// Gauss-Jordan elimination over GF(2^8).
+	for col := 0; col < rs.K; col++ {
+		pivot := -1
+		for r := col; r < rs.K; r++ {
+			if mat[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("apps: singular decode matrix")
+		}
+		mat[col], mat[pivot] = mat[pivot], mat[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		inv := rs.gf.Inv(mat[col][col])
+		for c := 0; c < rs.K; c++ {
+			mat[col][c] = rs.gf.Mul(mat[col][c], inv)
+		}
+		for b := 0; b < size; b++ {
+			rhs[col][b] = rs.gf.Mul(rhs[col][b], inv)
+		}
+		for r := 0; r < rs.K; r++ {
+			if r == col || mat[r][col] == 0 {
+				continue
+			}
+			f := mat[r][col]
+			for c := 0; c < rs.K; c++ {
+				mat[r][c] ^= rs.gf.Mul(f, mat[col][c])
+			}
+			for b := 0; b < size; b++ {
+				rhs[r][b] ^= rs.gf.Mul(f, rhs[col][b])
+			}
+		}
+	}
+	return rhs, nil
+}

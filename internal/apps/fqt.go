@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"math"
+
+	"poly/internal/exec"
+	"poly/internal/opencl"
+)
+
+// fqtSrc is the Finance Quantitative Trading service (Table II): a Monte
+// Carlo option-pricing chain. The PRNG kernel generates Gaussian paths,
+// Black-Scholes prices them, and a Reduce kernel aggregates the
+// estimator. Section VI-B: the PRNG "requires large batch size to enable
+// high throughput [on GPUs]" but "is naturally amenable to a customized
+// pipeline on FPGAs" — expressed here as a deep Pipeline pattern.
+const fqtSrc = `
+program FQT
+latency_bound 200
+
+kernel prng
+  repeat 250
+  const tbl f32[4096]
+  in seed f32[4096]
+  map      state(seed tbl, func=xorshift ops=6 custom elems=262144)
+  pipeline box(state, funcs=[log:8 sqrt:8 mul:1 mul:1])
+  out box
+
+kernel blackscholes
+  repeat 250
+  in z f32[262144]
+  map      d1(z, func=mac ops=12 elems=262144)
+  pipeline price(d1, funcs=[exp:8 mul:1 mac:2 exp:8 mul:1])
+  out price
+
+kernel reduce
+  repeat 250
+  in p f32[262144]
+  reduce sum(p, func=add assoc elems=1024)
+  pack   est(sum)
+  out est
+
+edge prng -> blackscholes bytes=1048576
+edge blackscholes -> reduce bytes=1048576
+`
+
+// FQTProgram returns the annotated FQT service.
+func FQTProgram() *opencl.Program { return opencl.MustParse(fqtSrc) }
+
+// XorShift64 is the reference PRNG of the FQT prng kernel: a 64-bit
+// xorshift* generator, deterministic per seed.
+type XorShift64 struct{ state uint64 }
+
+// NewXorShift64 seeds the generator; a zero seed is remapped (xorshift
+// has a zero fixed point).
+func NewXorShift64(seed uint64) *XorShift64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &XorShift64{state: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (x *XorShift64) Next() uint64 {
+	s := x.state
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform sample in (0, 1).
+func (x *XorShift64) Float64() float64 {
+	return (float64(x.Next()>>11) + 0.5) / (1 << 53)
+}
+
+// NormalPair returns two independent standard Gaussians via Box-Muller —
+// the "box" pipeline stage of the prng kernel.
+func (x *XorShift64) NormalPair() (float64, float64) {
+	u1, u2 := x.Float64(), x.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}
+
+// GaussianTensor fills a tensor with standard Gaussian samples.
+func GaussianTensor(seed uint64, n int) *exec.Tensor {
+	g := NewXorShift64(seed)
+	t := exec.NewTensor(n)
+	for i := 0; i < n; i += 2 {
+		a, b := g.NormalPair()
+		t.Data[i] = a
+		if i+1 < n {
+			t.Data[i+1] = b
+		}
+	}
+	return t
+}
+
+// BSParams are Black-Scholes option parameters.
+type BSParams struct {
+	Spot, Strike, Rate, Vol, Tenor float64
+}
+
+// stdNormCDF is the standard normal CDF via erf.
+func stdNormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// CallPrice returns the closed-form Black-Scholes European call price —
+// the blackscholes kernel's per-element function.
+func (p BSParams) CallPrice() float64 {
+	if p.Tenor <= 0 || p.Vol <= 0 {
+		return math.Max(0, p.Spot-p.Strike)
+	}
+	sv := p.Vol * math.Sqrt(p.Tenor)
+	d1 := (math.Log(p.Spot/p.Strike) + (p.Rate+0.5*p.Vol*p.Vol)*p.Tenor) / sv
+	d2 := d1 - sv
+	return p.Spot*stdNormCDF(d1) - p.Strike*math.Exp(-p.Rate*p.Tenor)*stdNormCDF(d2)
+}
+
+// MonteCarloCall estimates the same price by simulating terminal spots
+// with the provided Gaussian samples and averaging discounted payoffs —
+// the full FQT chain (prng → blackscholes → reduce) in reference form.
+func MonteCarloCall(cx exec.Ctx, p BSParams, z *exec.Tensor) float64 {
+	payoff := exec.NewTensor(z.Len())
+	drift := (p.Rate - 0.5*p.Vol*p.Vol) * p.Tenor
+	sv := p.Vol * math.Sqrt(p.Tenor)
+	cx.Map(payoff, z, func(g float64) float64 {
+		st := p.Spot * math.Exp(drift+sv*g)
+		return math.Max(0, st-p.Strike)
+	})
+	mean := cx.Reduce(payoff, 0, func(a, b float64) float64 { return a + b }) / float64(z.Len())
+	return mean * math.Exp(-p.Rate*p.Tenor)
+}

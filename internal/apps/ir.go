@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"math"
+
+	"poly/internal/exec"
+	"poly/internal/opencl"
+)
+
+// irSrc is the Image Recognition service (Table II): an AlexNet-style
+// convolutional network — convolution, pooling, and a fully-connected
+// classifier. Section VI-B: IR favours the FPGA's customized pipeline at
+// light load (no batching needed) but the FPGA saturates beyond ~60 %
+// load, where the GPU's batched throughput takes over. The conv kernel is
+// stencil/tiling dominated; FC is dense and batch-friendly.
+const irSrc = `
+program IR
+latency_bound 200
+
+kernel conv
+  repeat 10
+  const wts f32[64x3x11x11]
+  in img f32[3x224x224]
+  tiling  tile(img, size=[32 32 3] count=[7 7 1])
+  gather  patch(tile, elems=150528)
+  stencil feat(patch wts, func=conv ops=363 taps=121 elems=193600)
+  map     relu(feat, func=max ops=1)
+  pipeline bn(relu, funcs=[mul:1 add:1])
+  scatter store(bn, elems=193600)
+  out store
+
+kernel pool
+  repeat 12
+  in feat f32[64x55x55]
+  tiling  tile(feat, size=[8 8 1] count=[7 7 64])
+  stencil mx(tile, func=max ops=3 taps=9 elems=48400)
+  map     norm(mx, func=mul ops=2)
+  out norm
+
+kernel fc
+  repeat 7
+  const w f32[4096x9216]
+  in feat f32[9216]
+  pack    p(feat)
+  tiling  t(p, size=[256 1 1] count=[36 1 1])
+  map     proj(t w, func=mac ops=9216 elems=4096)
+  pipeline soft(proj, funcs=[exp:8 div:8])
+  out soft
+
+edge conv -> pool bytes=774400
+edge pool -> fc bytes=193600
+`
+
+// IRProgram returns the annotated IR service.
+func IRProgram() *opencl.Program { return opencl.MustParse(irSrc) }
+
+// Conv2D computes a valid-padding single-channel convolution of in
+// (h×w) with kernel k (kh×kw), the reference computation of the conv
+// kernel. Output is (h-kh+1)×(w-kw+1).
+func Conv2D(cx exec.Ctx, in, k *exec.Tensor) *exec.Tensor {
+	if len(in.Shape) != 2 || len(k.Shape) != 2 {
+		panic("apps: conv2d requires 2-D tensors")
+	}
+	h, w := in.Shape[0], in.Shape[1]
+	kh, kw := k.Shape[0], k.Shape[1]
+	oh, ow := h-kh+1, w-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic("apps: conv2d kernel larger than input")
+	}
+	out := exec.NewTensor(oh, ow)
+	cx.ForEach(oh*ow, func(idx int) {
+		y, x := idx/ow, idx%ow
+		var acc float64
+		for dy := 0; dy < kh; dy++ {
+			for dx := 0; dx < kw; dx++ {
+				acc += in.Data[(y+dy)*w+x+dx] * k.Data[dy*kw+dx]
+			}
+		}
+		out.Data[idx] = acc
+	})
+	return out
+}
+
+// MaxPool2D downsamples in by non-overlapping s×s windows (h, w must be
+// divisible by s), the pool kernel's reference computation.
+func MaxPool2D(cx exec.Ctx, in *exec.Tensor, s int) *exec.Tensor {
+	if len(in.Shape) != 2 {
+		panic("apps: maxpool requires a 2-D tensor")
+	}
+	h, w := in.Shape[0], in.Shape[1]
+	if s <= 0 || h%s != 0 || w%s != 0 {
+		panic("apps: maxpool window must divide the input")
+	}
+	oh, ow := h/s, w/s
+	out := exec.NewTensor(oh, ow)
+	cx.ForEach(oh*ow, func(idx int) {
+		y, x := idx/ow, idx%ow
+		best := math.Inf(-1)
+		for dy := 0; dy < s; dy++ {
+			for dx := 0; dx < s; dx++ {
+				if v := in.Data[(y*s+dy)*w+x*s+dx]; v > best {
+					best = v
+				}
+			}
+		}
+		out.Data[idx] = best
+	})
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(cx exec.Ctx, in *exec.Tensor) *exec.Tensor {
+	out := exec.NewTensor(in.Shape...)
+	cx.Map(out, in, func(v float64) float64 { return math.Max(0, v) })
+	return out
+}
+
+// Classify runs the reference IR chain on one image: convolution with a
+// bank of filters, ReLU, pooling, then the shared FullyConnected softmax
+// head. It returns the class scores.
+func Classify(cx exec.Ctx, img *exec.Tensor, filters []*exec.Tensor, fcW *exec.Tensor, pool int) *exec.Tensor {
+	var features []float64
+	for _, f := range filters {
+		conv := Conv2D(cx, img, f)
+		act := ReLU(cx, conv)
+		pooled := MaxPool2D(cx, act, pool)
+		features = append(features, pooled.Data...)
+	}
+	feat := exec.FromSlice(features)
+	if fcW.Shape[1] != feat.Len() {
+		panic("apps: classifier width mismatch")
+	}
+	return FullyConnected(cx, fcW, feat)
+}

@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"fmt"
+
+	"poly/internal/exec"
+	"poly/internal/opencl"
+)
+
+// mfSrc is the Online Matrix Factorization service [17]: incremental
+// SGD updates of user/item factor matrices as rating events stream in.
+// The read_data kernel gathers the sparse rating batch (irregular
+// access); the sgd_update kernel computes the dense factor updates.
+const mfSrc = `
+program MF
+latency_bound 200
+
+kernel read_data
+  repeat 140
+  in ratings f32[262144]
+  gather  batch(ratings, irregular elems=262144)
+  pack    packed(batch)
+  tiling  t(packed, size=[128 1 1] count=[2048 1 1])
+  out t
+
+kernel sgd_update
+  repeat 140
+  const factors f32[512x1024]
+  in batch f32[262144]
+  gather  rows(batch factors, irregular elems=131072)
+  map     grad(rows, func=mac ops=512 elems=131072)
+  pipeline apply(grad, funcs=[mul:1 mac:2])
+  tiling  wb(apply, size=[128 1 1] count=[1024 1 1])
+  out wb
+
+edge read_data -> sgd_update bytes=1048576
+`
+
+// MFProgram returns the annotated MF service.
+func MFProgram() *opencl.Program { return opencl.MustParse(mfSrc) }
+
+// Rating is one observed (user, item, value) triple.
+type Rating struct {
+	User, Item int
+	Value      float64
+}
+
+// MFModel holds rank-R user and item factor matrices.
+type MFModel struct {
+	Rank  int
+	Users *exec.Tensor // (numUsers × rank)
+	Items *exec.Tensor // (numItems × rank)
+}
+
+// NewMFModel builds a deterministic small-valued model.
+func NewMFModel(users, items, rank int) *MFModel {
+	if users <= 0 || items <= 0 || rank <= 0 {
+		panic("apps: non-positive MF geometry")
+	}
+	m := &MFModel{Rank: rank, Users: exec.NewTensor(users, rank), Items: exec.NewTensor(items, rank)}
+	for i := range m.Users.Data {
+		m.Users.Data[i] = 0.1 + 0.01*float64(i%7)
+	}
+	for i := range m.Items.Data {
+		m.Items.Data[i] = 0.1 + 0.01*float64(i%5)
+	}
+	return m
+}
+
+// Predict returns the model's estimate for (user, item).
+func (m *MFModel) Predict(user, item int) float64 {
+	var dot float64
+	for r := 0; r < m.Rank; r++ {
+		dot += m.Users.At(user, r) * m.Items.At(item, r)
+	}
+	return dot
+}
+
+// SGDStep applies one stochastic-gradient update per rating with
+// learning rate lr and L2 regularization reg — the reference computation
+// of the sgd_update kernel. It returns the mean squared error over the
+// batch before the update.
+func (m *MFModel) SGDStep(batch []Rating, lr, reg float64) (float64, error) {
+	if lr <= 0 {
+		return 0, fmt.Errorf("apps: non-positive learning rate")
+	}
+	var sqErr float64
+	for _, r := range batch {
+		if r.User < 0 || r.User >= m.Users.Shape[0] || r.Item < 0 || r.Item >= m.Items.Shape[0] {
+			return 0, fmt.Errorf("apps: rating (%d,%d) out of range", r.User, r.Item)
+		}
+		err := r.Value - m.Predict(r.User, r.Item)
+		sqErr += err * err
+		for k := 0; k < m.Rank; k++ {
+			u := m.Users.At(r.User, k)
+			v := m.Items.At(r.Item, k)
+			m.Users.Set(u+lr*(err*v-reg*u), r.User, k)
+			m.Items.Set(v+lr*(err*u-reg*v), r.Item, k)
+		}
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	return sqErr / float64(len(batch)), nil
+}
+
+// Train runs epochs of SGD over the batch and returns the final MSE.
+func (m *MFModel) Train(batch []Rating, lr, reg float64, epochs int) (float64, error) {
+	var mse float64
+	var err error
+	for e := 0; e < epochs; e++ {
+		mse, err = m.SGDStep(batch, lr, reg)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return mse, nil
+}

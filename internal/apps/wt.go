@@ -1,0 +1,238 @@
+package apps
+
+import (
+	"fmt"
+
+	"poly/internal/exec"
+	"poly/internal/opencl"
+)
+
+// wtSrc is the WebP Transcoding service [55] (Table II): re-encoding
+// uploaded images. Intra-prediction removes spatial redundancy,
+// probability counting builds the symbol statistics, and an adaptive
+// arithmetic coder emits the bitstream. The coder stage is serial-ish
+// (Scatter + custom context mixing), which makes WT the least
+// GPU-friendly benchmark.
+const wtSrc = `
+program WT
+latency_bound 200
+
+kernel intra_predict
+  repeat 85
+  in img u8[1024x1024]
+  tiling  blocks(img, size=[16 16 1] count=[64 64 1] elem=u8)
+  gather  edges(blocks, elems=1048576 elem=u8)
+  map     modes(edges, func=sad ops=48 elems=1048576 elem=u8)
+  pipeline resid(modes, funcs=[mac:2 max:1] elem=u8)
+  out resid
+
+kernel prob_count
+  repeat 85
+  in resid u8[1048576]
+  map    ctx(resid, func=ctxmap ops=6 elems=1048576 elem=u8)
+  reduce hist(ctx, func=add assoc elems=4096)
+  pipeline norm(hist, funcs=[div:8 mul:1])
+  pack   tbl(norm)
+  out tbl
+
+kernel arith_code
+  repeat 85
+  const cdf f32[4096]
+  in resid u8[1048576]
+  scatter ranges(resid cdf, irregular elems=1048576 elem=u8)
+  map     renorm(ranges, func=accum ops=10 custom elems=1048576 elem=u8)
+  pipeline emit(renorm, funcs=[mul:1 add:1 xor:1] elem=u8)
+  stencil carry(emit, func=carryfix ops=2 taps=3 elems=1048576 elem=u8)
+  out carry
+
+edge intra_predict -> prob_count bytes=1048576
+edge prob_count -> arith_code bytes=16384
+`
+
+// WTProgram returns the annotated WT service.
+func WTProgram() *opencl.Program { return opencl.MustParse(wtSrc) }
+
+// IntraPredictDC computes per-block DC-mode intra prediction residuals:
+// each bs×bs block is predicted by the mean of its top and left
+// neighbouring pixels, and the residual replaces the block. It returns
+// the residual image — the reference computation of intra_predict.
+func IntraPredictDC(cx exec.Ctx, img *exec.Tensor, bs int) *exec.Tensor {
+	if len(img.Shape) != 2 {
+		panic("apps: intra prediction requires a 2-D image")
+	}
+	h, w := img.Shape[0], img.Shape[1]
+	if bs <= 0 || h%bs != 0 || w%bs != 0 {
+		panic("apps: block size must divide the image")
+	}
+	out := img.Clone()
+	for by := 0; by < h; by += bs {
+		for bx := 0; bx < w; bx += bs {
+			var sum float64
+			var n int
+			if by > 0 {
+				for x := 0; x < bs; x++ {
+					sum += img.Data[(by-1)*w+bx+x]
+					n++
+				}
+			}
+			if bx > 0 {
+				for y := 0; y < bs; y++ {
+					sum += img.Data[(by+y)*w+bx-1]
+					n++
+				}
+			}
+			pred := 128.0 // DC default at the top-left corner
+			if n > 0 {
+				pred = sum / float64(n)
+			}
+			for y := 0; y < bs; y++ {
+				for x := 0; x < bs; x++ {
+					out.Data[(by+y)*w+bx+x] = img.Data[(by+y)*w+bx+x] - pred
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountProbabilities builds a normalized 256-bin histogram over byte
+// symbols — the prob_count kernel's reference computation.
+func CountProbabilities(symbols []byte) []float64 {
+	counts := make([]float64, 256)
+	for _, s := range symbols {
+		counts[s]++
+	}
+	total := float64(len(symbols))
+	if total == 0 {
+		return counts
+	}
+	for i := range counts {
+		counts[i] /= total
+	}
+	return counts
+}
+
+// ArithmeticCoder is an adaptive binary-partition arithmetic coder over
+// byte symbols with a frequency model that updates as it codes — the
+// arith_code kernel's reference computation. 32-bit range coder with
+// carry-less renormalization.
+type ArithmeticCoder struct {
+	freq [256]uint32
+	tot  uint32
+}
+
+// NewArithmeticCoder starts from a uniform adaptive model.
+func NewArithmeticCoder() *ArithmeticCoder {
+	c := &ArithmeticCoder{}
+	for i := range c.freq {
+		c.freq[i] = 1
+	}
+	c.tot = 256
+	return c
+}
+
+func (c *ArithmeticCoder) cumBefore(s byte) uint32 {
+	var cum uint32
+	for i := 0; i < int(s); i++ {
+		cum += c.freq[i]
+	}
+	return cum
+}
+
+func (c *ArithmeticCoder) update(s byte) {
+	c.freq[s]++
+	c.tot++
+	if c.tot >= 1<<16 {
+		// Halve the model to keep range precision.
+		c.tot = 0
+		for i := range c.freq {
+			c.freq[i] = (c.freq[i] + 1) / 2
+			if c.freq[i] == 0 {
+				c.freq[i] = 1
+			}
+			c.tot += c.freq[i]
+		}
+	}
+}
+
+// acTop is the renormalization threshold of the 32-bit range coder.
+const acTop = uint32(1) << 24
+
+// Encode compresses data; Decode inverts it given the original length.
+func (c *ArithmeticCoder) Encode(data []byte) []byte {
+	low, rng := uint32(0), ^uint32(0)
+	var out []byte
+	for _, s := range data {
+		cum := c.cumBefore(s)
+		r := rng / c.tot
+		low += r * cum
+		if low < r*cum { // carry
+			for i := len(out) - 1; i >= 0; i-- {
+				out[i]++
+				if out[i] != 0 {
+					break
+				}
+			}
+		}
+		rng = r * c.freq[s]
+		for rng < acTop {
+			out = append(out, byte(low>>24))
+			low <<= 8
+			rng <<= 8
+		}
+		c.update(s)
+	}
+	for i := 0; i < 4; i++ {
+		out = append(out, byte(low>>24))
+		low <<= 8
+	}
+	return out
+}
+
+// Decode reconstructs n symbols from an Encode output. The decoder must
+// start from a model in the same state the encoder started from.
+func (c *ArithmeticCoder) Decode(code []byte, n int) ([]byte, error) {
+	read := func(i int) uint32 {
+		if i < len(code) {
+			return uint32(code[i])
+		}
+		return 0
+	}
+	var val uint32
+	pos := 0
+	for ; pos < 4; pos++ {
+		val = val<<8 | read(pos)
+	}
+	low, rng := uint32(0), ^uint32(0)
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		r := rng / c.tot
+		target := (val - low) / r
+		if target >= c.tot {
+			target = c.tot - 1
+		}
+		// Locate the symbol whose cumulative range covers target.
+		var cum uint32
+		var sym int
+		for sym = 0; sym < 256; sym++ {
+			if cum+c.freq[sym] > target {
+				break
+			}
+			cum += c.freq[sym]
+		}
+		if sym == 256 {
+			return nil, fmt.Errorf("apps: arithmetic decode desynchronized")
+		}
+		low += r * cum
+		rng = r * c.freq[sym]
+		for rng < acTop {
+			val = val<<8 | read(pos)
+			pos++
+			low <<= 8
+			rng <<= 8
+		}
+		out = append(out, byte(sym))
+		c.update(byte(sym))
+	}
+	return out, nil
+}

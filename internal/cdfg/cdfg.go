@@ -1,0 +1,406 @@
+// Package cdfg lowers parallel patterns to control-data-flow graphs.
+//
+// Following Section IV-A, each pattern instance is transformed into a CDFG
+// whose nodes are operators (arithmetic, special functions, custom IP
+// cores, loads/stores, on-chip buffers) and whose edges are data
+// dependencies. The CDFG of one element's worth of work, together with a
+// replication factor, characterizes the pattern's compute parallelism
+// (independent operators) and its datapath depth — the two quantities the
+// analytical models consume.
+package cdfg
+
+import (
+	"fmt"
+
+	"poly/internal/pattern"
+)
+
+// NodeKind classifies a CDFG operator node.
+type NodeKind int
+
+// CDFG node kinds. BufferNode models the gray on-chip data buffers of
+// Fig. 4(b); the rest are operators.
+const (
+	Load NodeKind = iota
+	Store
+	Arith   // single-cycle ALU op: add, mul, mac, cmp, xor …
+	Special // multi-cycle function unit: sigmoid, tanh, exp, div, sqrt
+	Custom  // opaque IP core / library call
+	BufferNode
+)
+
+var nodeKindNames = [...]string{"load", "store", "arith", "special", "custom", "buffer"}
+
+func (k NodeKind) String() string {
+	if k < 0 || int(k) >= len(nodeKindNames) {
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+	return nodeKindNames[k]
+}
+
+// latencyCycles is the nominal pipelined-initiation latency of each
+// operator class on a customized datapath, in cycles. Special functions
+// use piecewise-linear units; custom IP cores get a conservative default.
+func (k NodeKind) latencyCycles() int {
+	switch k {
+	case Load, Store:
+		return 2
+	case Arith:
+		return 1
+	case Special:
+		return 8
+	case Custom:
+		return 16
+	case BufferNode:
+		return 1
+	}
+	return 1
+}
+
+// specialOps names operators lowered to multi-cycle function units.
+var specialOps = map[string]bool{
+	"sigmoid": true, "tanh": true, "exp": true, "log": true,
+	"div": true, "sqrt": true, "rcp": true, "softmax": true,
+}
+
+// Node is one operator in a CDFG.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Op is the operator mnemonic ("mac", "sigmoid", "rs_core", …).
+	Op string
+	// Cycles is the operator latency in datapath cycles.
+	Cycles int
+}
+
+// Graph is the CDFG of one element's worth of a pattern, plus the number
+// of independent replicas (the pattern's data parallelism).
+type Graph struct {
+	// Pattern is the lowered instance's name.
+	Pattern string
+	// Kind is the lowered instance's pattern kind.
+	Kind pattern.Kind
+	// Replication is how many independent copies of this subgraph the
+	// pattern instantiates (≈ element count, or element/taps groupings).
+	Replication int
+	nodes       []*Node
+	succ        [][]int
+	pred        [][]int
+}
+
+func newGraph(name string, kind pattern.Kind, replication int) *Graph {
+	return &Graph{Pattern: name, Kind: kind, Replication: replication}
+}
+
+// addNode appends an operator node and returns its ID.
+func (g *Graph) addNode(kind NodeKind, op string) int {
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, &Node{ID: id, Kind: kind, Op: op, Cycles: kind.latencyCycles()})
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// addEdge links from → to.
+func (g *Graph) addEdge(from, to int) {
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+}
+
+// Nodes returns the operator nodes in creation order.
+func (g *Graph) Nodes() []*Node { return append([]*Node(nil), g.nodes...) }
+
+// Len returns the node count of one replica.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Succ returns the successor IDs of node id.
+func (g *Graph) Succ(id int) []int { return g.succ[id] }
+
+// OpCount returns the number of operator nodes (excluding buffers) in one
+// replica.
+func (g *Graph) OpCount() int {
+	n := 0
+	for _, nd := range g.nodes {
+		if nd.Kind != BufferNode {
+			n++
+		}
+	}
+	return n
+}
+
+// DepthCycles returns the critical-path latency of one replica in cycles —
+// the pipeline depth a fully-pipelined FPGA datapath would need.
+func (g *Graph) DepthCycles() int {
+	// Nodes are created in topological order by construction (builders
+	// only add edges from earlier to later nodes), so one forward pass
+	// computes longest paths.
+	longest := make([]int, len(g.nodes))
+	max := 0
+	for id, nd := range g.nodes {
+		best := 0
+		for _, p := range g.pred[id] {
+			if longest[p] > best {
+				best = longest[p]
+			}
+		}
+		longest[id] = best + nd.Cycles
+		if longest[id] > max {
+			max = longest[id]
+		}
+	}
+	return max
+}
+
+// customIPWidth is the internal parallelism of a pipelined custom IP
+// core: a generated RS/coding/PRNG block processes ~16 scalar operations
+// per cycle once its pipeline fills.
+const customIPWidth = 16
+
+// MaxNodeCycles returns the busiest single unit's per-element latency —
+// the initiation-interval floor of a pipelined datapath: a new element
+// cannot enter a stage before its function unit frees up. Special
+// function units (dividers, exp/log CORDIC blocks) are internally
+// pipelined — deep latency, one new element per cycle — so they do not
+// raise the II. Custom IP cores are pipelined too but bounded by their
+// internal width; temporally-shared arithmetic (an accumulator looping
+// over a dot product) throttles initiation fully.
+func (g *Graph) MaxNodeCycles() int {
+	max := 1
+	for _, nd := range g.nodes {
+		var ii int
+		switch nd.Kind {
+		case Arith, Load, Store:
+			ii = nd.Cycles
+		case Custom:
+			ii = (nd.Cycles + customIPWidth - 1) / customIPWidth
+		default:
+			continue
+		}
+		if ii > max {
+			max = ii
+		}
+	}
+	return max
+}
+
+// Width returns the maximum number of operator nodes at the same
+// longest-path level — the instruction-level parallelism inside one
+// replica.
+func (g *Graph) Width() int {
+	level := make([]int, len(g.nodes))
+	counts := map[int]int{}
+	max := 0
+	for id := range g.nodes {
+		best := 0
+		for _, p := range g.pred[id] {
+			if level[p]+1 > best {
+				best = level[p] + 1
+			}
+		}
+		level[id] = best
+		if g.nodes[id].Kind == BufferNode {
+			continue
+		}
+		counts[best]++
+		if counts[best] > max {
+			max = counts[best]
+		}
+	}
+	return max
+}
+
+// ComputeParallelism returns the total independent operator slots the
+// pattern exposes: replication × per-replica width (Section IV-A:
+// "compute-parallelism is estimated ... based on the independent
+// operators").
+func (g *Graph) ComputeParallelism() int64 {
+	return int64(g.Replication) * int64(g.Width())
+}
+
+// TotalOps returns operator executions across all replicas.
+func (g *Graph) TotalOps() int64 {
+	return int64(g.Replication) * int64(g.OpCount())
+}
+
+// HasCustom reports whether the datapath embeds an opaque IP core.
+func (g *Graph) HasCustom() bool {
+	for _, nd := range g.nodes {
+		if nd.Kind == Custom {
+			return true
+		}
+	}
+	return false
+}
+
+func opKind(f pattern.Func) NodeKind {
+	switch {
+	case f.Custom:
+		return Custom
+	case specialOps[f.Name]:
+		return Special
+	default:
+		return Arith
+	}
+}
+
+// appendFunc lowers one operator function into a single function unit
+// whose latency covers the per-element scalar op count *temporally*: an
+// f.Ops-long dot product becomes one MAC unit busy for f.Ops cycles, the
+// way HLS schedules reduction loops onto a shared accumulator rather than
+// unrolling them spatially. (Spatial replication is the Unroll/CU knob of
+// the optimizer, not a CDFG property.)
+func (g *Graph) appendFunc(from int, f pattern.Func) int {
+	kind := opKind(f)
+	ops := f.Ops
+	if ops < 1 {
+		ops = 1
+	}
+	n := g.addNode(kind, f.Name)
+	node := g.nodes[n]
+	if ops > node.Cycles {
+		node.Cycles = ops
+	}
+	g.addEdge(from, n)
+	return n
+}
+
+// Build lowers a pattern instance into its CDFG.
+func Build(in *pattern.Instance) (*Graph, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	switch in.Kind {
+	case pattern.Map:
+		return buildMap(in), nil
+	case pattern.Reduce:
+		return buildReduce(in), nil
+	case pattern.Scan:
+		return buildScan(in), nil
+	case pattern.Stencil:
+		return buildStencil(in), nil
+	case pattern.Pipeline:
+		return buildPipeline(in), nil
+	case pattern.Gather, pattern.Scatter:
+		return buildGatherScatter(in), nil
+	case pattern.Tiling, pattern.Pack:
+		return buildMove(in), nil
+	}
+	return nil, fmt.Errorf("cdfg: unsupported pattern kind %v", in.Kind)
+}
+
+// buildMap: load → func chain → store, replicated per element.
+func buildMap(in *pattern.Instance) *Graph {
+	g := newGraph(in.Name, in.Kind, in.Elems)
+	ld := g.addNode(Load, "load")
+	cur := ld
+	for _, f := range in.Funcs {
+		cur = g.appendFunc(cur, f)
+	}
+	st := g.addNode(Store, "store")
+	g.addEdge(cur, st)
+	return g
+}
+
+// buildReduce: a combiner applied along a tree. One replica covers one
+// leaf-to-root path: load → log2-ish chain of combiners → buffer. The
+// replication is the leaf count; the serial-vs-tree choice is a local
+// optimization knob, so the CDFG records the associative combiner once and
+// lets the optimizer pick the schedule.
+func buildReduce(in *pattern.Instance) *Graph {
+	g := newGraph(in.Name, in.Kind, in.Elems)
+	ld := g.addNode(Load, "load")
+	cur := ld
+	for _, f := range in.Funcs {
+		cur = g.appendFunc(cur, f)
+	}
+	buf := g.addNode(BufferNode, "acc")
+	g.addEdge(cur, buf)
+	return g
+}
+
+// buildScan: like reduce, but every intermediate is also stored.
+func buildScan(in *pattern.Instance) *Graph {
+	g := newGraph(in.Name, in.Kind, in.Elems)
+	ld := g.addNode(Load, "load")
+	cur := ld
+	for _, f := range in.Funcs {
+		cur = g.appendFunc(cur, f)
+	}
+	buf := g.addNode(BufferNode, "prefix")
+	g.addEdge(cur, buf)
+	st := g.addNode(Store, "store")
+	g.addEdge(buf, st)
+	return g
+}
+
+// buildStencil: taps independent loads feeding the combiner tree, then a
+// store; replication per output element.
+func buildStencil(in *pattern.Instance) *Graph {
+	g := newGraph(in.Name, in.Kind, in.Elems)
+	taps := in.StencilTaps
+	if taps < 1 {
+		taps = 1
+	}
+	// Tap loads are independent (width = taps at level 0), all feeding one
+	// combiner before the operator chain.
+	loads := make([]int, taps)
+	for i := 0; i < taps; i++ {
+		loads[i] = g.addNode(Load, "load")
+	}
+	cur := g.addNode(Arith, "combine")
+	for _, ld := range loads {
+		g.addEdge(ld, cur)
+	}
+	for _, f := range in.Funcs {
+		cur = g.appendFunc(cur, f)
+	}
+	st := g.addNode(Store, "store")
+	g.addEdge(cur, st)
+	return g
+}
+
+// buildPipeline: stage functions connected producer→consumer with
+// inter-stage buffers; all stages active at once, so replication counts
+// elements streaming through.
+func buildPipeline(in *pattern.Instance) *Graph {
+	g := newGraph(in.Name, in.Kind, in.Elems)
+	cur := g.addNode(Load, "load")
+	for i, f := range in.Funcs {
+		cur = g.appendFunc(cur, f)
+		if i != len(in.Funcs)-1 {
+			buf := g.addNode(BufferNode, "stage")
+			g.addEdge(cur, buf)
+			cur = buf
+		}
+	}
+	st := g.addNode(Store, "store")
+	g.addEdge(cur, st)
+	return g
+}
+
+// buildGatherScatter: index load → data load/store through a buffer.
+func buildGatherScatter(in *pattern.Instance) *Graph {
+	g := newGraph(in.Name, in.Kind, in.Elems)
+	idx := g.addNode(Load, "index")
+	var data int
+	if in.Kind == pattern.Gather {
+		data = g.addNode(Load, "load")
+	} else {
+		data = g.addNode(Store, "store")
+	}
+	g.addEdge(idx, data)
+	buf := g.addNode(BufferNode, "stage")
+	g.addEdge(data, buf)
+	return g
+}
+
+// buildMove: Tiling and Pack are layout transforms: load → buffer → store.
+func buildMove(in *pattern.Instance) *Graph {
+	g := newGraph(in.Name, in.Kind, in.Elems)
+	ld := g.addNode(Load, "load")
+	buf := g.addNode(BufferNode, "tile")
+	g.addEdge(ld, buf)
+	st := g.addNode(Store, "store")
+	g.addEdge(buf, st)
+	return g
+}

@@ -1,0 +1,262 @@
+package cdfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"poly/internal/pattern"
+)
+
+func inst(kind pattern.Kind, elems int, funcs ...pattern.Func) *pattern.Instance {
+	in := &pattern.Instance{Name: "x", Kind: kind, Elems: elems, ElemBytes: 4, Funcs: funcs}
+	if kind == pattern.Stencil {
+		in.StencilTaps = 9
+	}
+	return in
+}
+
+func TestBuildMapShape(t *testing.T) {
+	g, err := Build(inst(pattern.Map, 128, pattern.Func{Name: "mac", Ops: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// load + mac unit (2 cycles, temporal) + store
+	if g.Len() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.Len())
+	}
+	if g.Replication != 128 {
+		t.Fatalf("replication = %d", g.Replication)
+	}
+	// depth = 2 (load) + 2 (mac busy) + 2 (store) = 6 cycles
+	if got := g.DepthCycles(); got != 6 {
+		t.Fatalf("depth = %d, want 6", got)
+	}
+	if g.OpCount() != 3 {
+		t.Fatalf("op count = %d", g.OpCount())
+	}
+	if g.TotalOps() != 128*3 {
+		t.Fatalf("total ops = %d", g.TotalOps())
+	}
+	if g.MaxNodeCycles() != 2 {
+		t.Fatalf("II floor = %d, want 2", g.MaxNodeCycles())
+	}
+}
+
+func TestTemporalOpsBecomeOneBusyUnit(t *testing.T) {
+	// A 2048-long dot product is one MAC unit busy 2048 cycles, not a
+	// 2048-node spatial chain.
+	g, err := Build(inst(pattern.Map, 1024, pattern.Func{Name: "mac", Ops: 2048}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.Len())
+	}
+	if g.MaxNodeCycles() != 2048 {
+		t.Fatalf("II floor = %d, want 2048", g.MaxNodeCycles())
+	}
+	if g.DepthCycles() != 2048+4 {
+		t.Fatalf("depth = %d, want 2052", g.DepthCycles())
+	}
+}
+
+func TestBuildMapSpecialFunc(t *testing.T) {
+	g, err := Build(inst(pattern.Map, 16, pattern.Func{Name: "sigmoid", Ops: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Special functions collapse to one function unit: load+sigmoid+store.
+	if g.Len() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.Len())
+	}
+	var found bool
+	for _, n := range g.Nodes() {
+		if n.Kind == Special && n.Cycles == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sigmoid not lowered to a Special unit")
+	}
+}
+
+func TestBuildCustomFunc(t *testing.T) {
+	g, err := Build(inst(pattern.Map, 8, pattern.Func{Name: "rs_core", Ops: 100, Custom: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasCustom() {
+		t.Fatal("custom IP not detected")
+	}
+	gm, _ := Build(inst(pattern.Map, 8, pattern.Func{Name: "add", Ops: 1}))
+	if gm.HasCustom() {
+		t.Fatal("plain map misreported as custom")
+	}
+}
+
+func TestBuildStencilWidth(t *testing.T) {
+	g, err := Build(inst(pattern.Stencil, 64, pattern.Func{Name: "conv", Ops: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 independent tap loads → width ≥ 9.
+	if g.Width() < 9 {
+		t.Fatalf("width = %d, want ≥9 (taps)", g.Width())
+	}
+	if g.ComputeParallelism() < 64*9 {
+		t.Fatalf("compute parallelism = %d", g.ComputeParallelism())
+	}
+}
+
+func TestBuildPipelineStages(t *testing.T) {
+	g, err := Build(inst(pattern.Pipeline, 32,
+		pattern.Func{Name: "mul", Ops: 1},
+		pattern.Func{Name: "add", Ops: 1},
+		pattern.Func{Name: "tanh", Ops: 4},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inter-stage buffers appear between stages (2 for 3 stages).
+	bufs := 0
+	for _, n := range g.Nodes() {
+		if n.Kind == BufferNode {
+			bufs++
+		}
+	}
+	if bufs != 2 {
+		t.Fatalf("stage buffers = %d, want 2", bufs)
+	}
+	// tanh becomes a Special unit: depth = 2+1+1+1+1+8+2 = 16
+	if got := g.DepthCycles(); got != 16 {
+		t.Fatalf("depth = %d, want 16", got)
+	}
+}
+
+func TestBuildGatherScatter(t *testing.T) {
+	for _, k := range []pattern.Kind{pattern.Gather, pattern.Scatter} {
+		g, err := Build(inst(k, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Len() != 3 {
+			t.Fatalf("%v nodes = %d, want 3", k, g.Len())
+		}
+		if g.OpCount() != 2 {
+			t.Fatalf("%v op count = %d (buffer must not count)", k, g.OpCount())
+		}
+	}
+}
+
+func TestBuildReduceScanMove(t *testing.T) {
+	r, err := Build(inst(pattern.Reduce, 256, pattern.Func{Name: "add", Ops: 1, Associative: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replication != 256 {
+		t.Fatalf("reduce replication = %d", r.Replication)
+	}
+	s, err := Build(inst(pattern.Scan, 64, pattern.Func{Name: "add", Ops: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan must store every intermediate: has both buffer and store.
+	var hasStore bool
+	for _, n := range s.Nodes() {
+		if n.Kind == Store {
+			hasStore = true
+		}
+	}
+	if !hasStore {
+		t.Fatal("scan missing store of intermediates")
+	}
+	for _, k := range []pattern.Kind{pattern.Tiling, pattern.Pack} {
+		g, err := Build(inst(k, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.DepthCycles() != 5 { // load(2)+buffer(1)+store(2)
+			t.Fatalf("%v depth = %d, want 5", k, g.DepthCycles())
+		}
+	}
+}
+
+func TestBuildRejectsInvalidInstance(t *testing.T) {
+	if _, err := Build(&pattern.Instance{Name: "bad", Kind: pattern.Map, Elems: 0}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if Load.String() != "load" || BufferNode.String() != "buffer" {
+		t.Fatal("node kind names wrong")
+	}
+	if NodeKind(99).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+// Property: for any valid instance, depth ≥ every single node latency,
+// width ≥ 1, and ComputeParallelism = Replication × Width.
+func TestCDFGInvariantsProperty(t *testing.T) {
+	kinds := []pattern.Kind{
+		pattern.Map, pattern.Reduce, pattern.Scan, pattern.Stencil,
+		pattern.Pipeline, pattern.Gather, pattern.Scatter, pattern.Tiling, pattern.Pack,
+	}
+	f := func(kindSel, elems, ops uint8) bool {
+		kind := kinds[int(kindSel)%len(kinds)]
+		e := int(elems)%1000 + 1
+		o := int(ops)%6 + 1
+		funcs := []pattern.Func{{Name: "f", Ops: o}}
+		if kind == pattern.Pipeline {
+			funcs = append(funcs, pattern.Func{Name: "g", Ops: o})
+		}
+		in := &pattern.Instance{Name: "p", Kind: kind, Elems: e, ElemBytes: 4, Funcs: funcs}
+		if kind == pattern.Stencil {
+			in.StencilTaps = int(ops)%8 + 1
+		}
+		g, err := Build(in)
+		if err != nil {
+			return false
+		}
+		if g.Width() < 1 || g.DepthCycles() < 1 {
+			return false
+		}
+		for _, n := range g.Nodes() {
+			if g.DepthCycles() < n.Cycles {
+				return false
+			}
+		}
+		return g.ComputeParallelism() == int64(g.Replication)*int64(g.Width())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: node creation order is topological (edges go old→new), which
+// DepthCycles relies on.
+func TestTopologicalCreationOrder(t *testing.T) {
+	gs := []*Graph{}
+	for _, k := range []pattern.Kind{pattern.Map, pattern.Stencil, pattern.Pipeline, pattern.Gather} {
+		fns := []pattern.Func{{Name: "f", Ops: 2}}
+		if k == pattern.Pipeline {
+			fns = append(fns, pattern.Func{Name: "g", Ops: 1})
+		}
+		in := &pattern.Instance{Name: "p", Kind: k, Elems: 4, Funcs: fns, StencilTaps: 5}
+		g, err := Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	for _, g := range gs {
+		for id := range g.Nodes() {
+			for _, s := range g.Succ(id) {
+				if s <= id {
+					t.Fatalf("edge %d->%d violates creation-order topology", id, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package core assembles the Poly framework (Fig. 2): the offline kernel
+// analysis pipeline (annotation → pattern analysis → local/global
+// optimization → model-driven DSE) and the runtime side (provisioned
+// heterogeneous node + two-step kernel scheduler + monitor loop).
+//
+// A Framework is the compiled form of one application: its analyzed
+// kernels plus, per hardware setting, the Pareto design spaces of every
+// kernel on that setting's GPU and FPGA boards. Frameworks are cheap to
+// share: experiments across architectures reuse one compilation.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"poly/internal/analysis"
+	"poly/internal/apps"
+	"poly/internal/cluster"
+	"poly/internal/device"
+	"poly/internal/dse"
+	"poly/internal/opencl"
+	"poly/internal/runtime"
+	"poly/internal/sched"
+)
+
+// Framework is a compiled Poly application.
+type Framework struct {
+	prog *opencl.Program
+	pa   *analysis.Program
+
+	mu     sync.Mutex
+	spaces map[string]*dse.KernelSpaces // setting name → spaces
+}
+
+// Compile runs the offline kernel analysis for a program.
+func Compile(prog *opencl.Program) (*Framework, error) {
+	pa, err := analysis.AnalyzeProgram(prog, analysis.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{prog: prog, pa: pa, spaces: make(map[string]*dse.KernelSpaces)}, nil
+}
+
+// CompileSource parses annotation-language source and compiles it.
+func CompileSource(src string) (*Framework, error) {
+	prog, err := opencl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog)
+}
+
+// Program returns the compiled program.
+func (f *Framework) Program() *opencl.Program { return f.prog }
+
+// Analysis returns the pattern-analysis results.
+func (f *Framework) Analysis() *analysis.Program { return f.pa }
+
+// Explore runs (or returns the cached) design-space exploration for one
+// hardware setting.
+func (f *Framework) Explore(setting cluster.Setting) (*dse.KernelSpaces, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ks, ok := f.spaces[setting.Name]; ok {
+		return ks, nil
+	}
+	ks, err := dse.ExploreProgram(f.pa, setting.GPU, setting.FPGA)
+	if err != nil {
+		return nil, err
+	}
+	f.spaces[setting.Name] = ks
+	return ks, nil
+}
+
+// Scheduler builds the Heter-Poly runtime scheduler for a setting.
+func (f *Framework) Scheduler(setting cluster.Setting) (*sched.Scheduler, error) {
+	ks, err := f.Explore(setting)
+	if err != nil {
+		return nil, err
+	}
+	return sched.New(f.prog, ks)
+}
+
+// Baseline builds a Homo-GPU or Homo-FPGA static planner for a setting.
+func (f *Framework) Baseline(setting cluster.Setting, arch cluster.Architecture) (*sched.StaticPlanner, error) {
+	ks, err := f.Explore(setting)
+	if err != nil {
+		return nil, err
+	}
+	switch arch {
+	case cluster.HomoGPU:
+		return sched.NewStatic(f.prog, ks, device.GPU, sched.StaticAuto)
+	case cluster.HomoFPGA:
+		return sched.NewStatic(f.prog, ks, device.FPGA, sched.StaticAuto)
+	}
+	return nil, fmt.Errorf("core: %v is not a static baseline architecture", arch)
+}
+
+// Bench builds the serving harness for one architecture on one setting,
+// with the paper's default 500 W power cap.
+func (f *Framework) Bench(arch cluster.Architecture, setting cluster.Setting) (runtime.Bench, error) {
+	ks, err := f.Explore(setting)
+	if err != nil {
+		return runtime.Bench{}, err
+	}
+	return runtime.Bench{
+		Arch:    arch,
+		Setting: setting,
+		Prog:    f.prog,
+		Spaces:  ks,
+	}, nil
+}
+
+// appCache shares compiled benchmarks between experiments.
+var appCache sync.Map // name → *Framework
+
+// App compiles (once) and returns one of the six Table II benchmarks.
+func App(name string) (*Framework, error) {
+	if v, ok := appCache.Load(name); ok {
+		return v.(*Framework), nil
+	}
+	a, ok := apps.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q (have %v)", name, apps.Names())
+	}
+	fw, err := Compile(a.Program)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := appCache.LoadOrStore(name, fw)
+	return actual.(*Framework), nil
+}
+
+// Apps compiles all six benchmarks in Table II order.
+func Apps() ([]*Framework, error) {
+	var out []*Framework
+	for _, n := range apps.Names() {
+		fw, err := App(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fw)
+	}
+	return out, nil
+}

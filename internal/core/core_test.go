@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"poly/internal/cluster"
+)
+
+func TestCompileSourceAndExplore(t *testing.T) {
+	fw, err := CompileSource(`
+program demo
+kernel k
+  repeat 100
+  const w f32[256x256]
+  in x f32[256]
+  map m(x w, func=mac ops=512 elems=256)
+  pipeline p(m, funcs=[sigmoid:8 mul:1])
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Program().Name != "demo" || fw.Analysis() == nil {
+		t.Fatal("compiled artifacts missing")
+	}
+	ks, err := fw.Explore(cluster.SettingI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached on second call.
+	ks2, err := fw.Explore(cluster.SettingI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != ks2 {
+		t.Fatal("exploration not cached per setting")
+	}
+	if _, err := fw.Scheduler(cluster.SettingI); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Baseline(cluster.SettingI, cluster.HomoGPU); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Baseline(cluster.SettingI, cluster.HomoFPGA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Baseline(cluster.SettingI, cluster.HeterPoly); err == nil {
+		t.Fatal("HeterPoly must not build a static baseline")
+	}
+	b, err := fw.Bench(cluster.HeterPoly, cluster.SettingI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Prog != fw.Program() || b.Spaces == nil {
+		t.Fatal("bench wiring wrong")
+	}
+}
+
+func TestCompileRejectsBadSource(t *testing.T) {
+	if _, err := CompileSource("garbage"); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestAppCacheAndAll(t *testing.T) {
+	a, err := App("ASR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := App("ASR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("App must cache compilations")
+	}
+	if _, err := App("NOPE"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	all, err := Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("apps = %d", len(all))
+	}
+}
+
+func TestEndToEndServeViaFramework(t *testing.T) {
+	fw, err := App("FQT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []cluster.Architecture{cluster.HomoGPU, cluster.HomoFPGA, cluster.HeterPoly} {
+		b, err := fw.Bench(arch, cluster.SettingI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.ServeConstantLoad(2, 10000, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if res.Completed == 0 || res.PlanErrors != 0 {
+			t.Fatalf("%v: result %+v", arch, res)
+		}
+	}
+}
+
+func TestCompileRejectsBadAnalysis(t *testing.T) {
+	// A program that parses but fails analysis (kernel-level cycle added
+	// post-parse) must be rejected by Compile.
+	fw, err := CompileSource(`
+program ok
+kernel a
+  in x f32[4]
+  map m(x, func=f)
+kernel b
+  in y f32[4]
+  map m(y, func=f)
+edge a -> b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := fw.Program()
+	if err := prog.Connect("b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(prog); err == nil {
+		t.Fatal("cyclic program accepted by Compile")
+	}
+	// Explore/Scheduler/Bench propagate exploration errors for programs
+	// whose kernels cannot fit any device.
+	huge, err := CompileSource(`
+program huge
+kernel k
+  in x f32[4]
+  map m(x, func=f ops=1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := huge.Scheduler(cluster.SettingI); err != nil {
+		t.Fatalf("tiny kernel must schedule: %v", err)
+	}
+}

@@ -1,0 +1,486 @@
+package device
+
+import (
+	"fmt"
+
+	"poly/internal/sim"
+)
+
+// Task is one kernel execution submitted to an accelerator. The latency,
+// interval, and power numbers come from the implementation the runtime
+// scheduler selected (a model.Impl); the device simulator adds the
+// effects the analytical model cannot see: queueing, batch formation,
+// DVFS state, and FPGA reconfiguration.
+type Task struct {
+	// Kernel is the kernel name (for accounting).
+	Kernel string
+	// ImplID identifies the implementation (kernel + config). The GPU
+	// batches only same-impl tasks; the FPGA reconfigures when it changes.
+	ImplID string
+	// LatencyMS is the batch execution latency at nominal frequency.
+	LatencyMS float64
+	// IntervalMS is the pipelined initiation interval (FPGA); ≥ LatencyMS
+	// means no request-level pipelining.
+	IntervalMS float64
+	// Batch is the launch's batch capacity (GPU; 1 on FPGA).
+	Batch int
+	// WindowMS bounds how long the GPU may hold this task to accumulate
+	// a fuller batch (DjiNN-style deadline-aware batching). Zero launches
+	// immediately.
+	WindowMS float64
+	// enqueuedAt is stamped by the device on Submit.
+	enqueuedAt sim.Time
+	// PowerW is the board's active power while executing this impl.
+	PowerW float64
+	// OnDone is called when the task completes. May be nil.
+	OnDone func(at sim.Time)
+}
+
+// Accelerator is a simulated board: it accepts tasks, reports occupancy
+// for the scheduler's EST table (Eq. 4), and accounts energy.
+type Accelerator interface {
+	// Name is the board instance name, unique within a node.
+	Name() string
+	// Class is GPU or FPGA.
+	Class() Class
+	// Submit enqueues a task.
+	Submit(t *Task)
+	// NextFreeAt estimates when a newly submitted task could start —
+	// the T_queue(d_n) term of the scheduler's EST computation.
+	NextFreeAt() sim.Time
+	// QueueLen is the number of tasks waiting or running.
+	QueueLen() int
+	// PowerW is the instantaneous power draw.
+	PowerW() float64
+	// EnergyMJ is the accumulated energy in millijoules since creation.
+	EnergyMJ() float64
+	// Perturb returns the device's deterministic execution-time noise
+	// factor for an impl — the gap between analytical model and
+	// "hardware" the paper reports as ≤6 % (Section VI-C).
+	Perturb(implID string) float64
+}
+
+// accelBase carries the bookkeeping shared by both device families.
+type accelBase struct {
+	name   string
+	sim    *sim.Simulator
+	power  float64 // instantaneous watts
+	energy float64 // accumulated mJ
+	lastAt sim.Time
+}
+
+func (b *accelBase) Name() string { return b.name }
+
+// setPower integrates energy up to now and switches the draw level.
+func (b *accelBase) setPower(w float64) {
+	now := b.sim.Now()
+	b.energy += b.power * float64(now-b.lastAt)
+	b.lastAt = now
+	b.power = w
+}
+
+func (b *accelBase) PowerW() float64 { return b.power }
+
+func (b *accelBase) EnergyMJ() float64 {
+	// Include the span since the last state change.
+	return b.energy + b.power*float64(b.sim.Now()-b.lastAt)
+}
+
+// perturb derives a deterministic per-impl execution noise in
+// [1-amp, 1+amp] from a string hash, standing in for the measurement
+// noise of real hardware. The paper's model-accuracy claim (≤6 % error)
+// is validated against this (BenchmarkModelAccuracy).
+func perturb(id string, amp float64) float64 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	u := float64(h%2048)/1023.5 - 1 // [-1, 1]
+	return 1 + amp*u
+}
+
+// LaunchTrace, when non-nil, receives one callback per GPU launch
+// (device, kernel, batch size, cap, queue remainder, duration) — a
+// diagnostics hook for tests.
+var LaunchTrace func(dev, kernel string, batch, cap, left int, durMS float64)
+
+// GPUDevice simulates one GPU board: a FIFO queue whose head batch (up to
+// the impl's batch capacity, same impl only) executes as one launch, with
+// a DVFS ladder that scales both speed and power.
+type GPUDevice struct {
+	accelBase
+	spec     GPUSpec
+	level    int // index into spec.DVFS
+	queue    []*Task
+	running  bool
+	pending  bool // a launch event is scheduled
+	freeAt   sim.Time
+	launches int
+	tasks    int
+	busyMS   float64
+}
+
+// NewGPU attaches a simulated GPU board to a simulator.
+func NewGPU(s *sim.Simulator, name string, spec GPUSpec) *GPUDevice {
+	g := &GPUDevice{accelBase: accelBase{name: name, sim: s}, spec: spec}
+	if len(g.spec.DVFS) == 0 {
+		g.spec.DVFS = []DVFSLevel{{FreqScale: 1, PowerScale: 1}}
+	}
+	g.setPower(g.idlePower())
+	return g
+}
+
+// Class returns GPU.
+func (g *GPUDevice) Class() Class { return GPU }
+
+// SetDVFS selects an operating point; out-of-range levels clamp. Lower
+// levels (higher index) slow execution but cut both active and idle power
+// — the runtime's knob for light-load energy proportionality.
+func (g *GPUDevice) SetDVFS(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level >= len(g.spec.DVFS) {
+		level = len(g.spec.DVFS) - 1
+	}
+	g.level = level
+	if !g.running {
+		g.setPower(g.idlePower())
+	}
+}
+
+// DVFSLevel returns the current ladder index.
+func (g *GPUDevice) DVFSLevel() int { return g.level }
+
+// FreqScale returns the current operating point's clock multiplier.
+func (g *GPUDevice) FreqScale() float64 { return g.spec.DVFS[g.level].FreqScale }
+
+// Launches and ExecutedTasks report launch statistics for diagnostics.
+func (g *GPUDevice) Launches() (launches, tasks int, busyMS float64) {
+	return g.launches, g.tasks, g.busyMS
+}
+
+func (g *GPUDevice) idlePower() float64 {
+	// Idle draw shrinks with the ladder: clock gating plus memory
+	// downclocking, floored by board static power.
+	ps := g.spec.DVFS[g.level].PowerScale
+	return g.spec.IdlePowerW * (0.4 + 0.6*ps)
+}
+
+// Submit enqueues a task. The launch fires at the next event boundary so
+// that same-instant submissions can form one batch.
+func (g *GPUDevice) Submit(t *Task) {
+	t.enqueuedAt = g.sim.Now()
+	g.queue = append(g.queue, t)
+	if !g.running {
+		// (Re-)evaluate at the next event boundary: a new arrival may
+		// complete a batch that was waiting on its window.
+		g.pending = true
+		g.sim.After(0, g.launch)
+	}
+}
+
+// launch forms a batch from the queue head and executes it. When the head
+// batch is not yet full and its accumulation window has not expired, the
+// launch is deferred — trading a bounded wait for the amortization that
+// makes GPUs throughput-efficient.
+func (g *GPUDevice) launch() {
+	g.pending = false
+	if g.running {
+		return
+	}
+	if len(g.queue) == 0 {
+		g.running = false
+		g.setPower(g.idlePower())
+		return
+	}
+	head := g.queue[0]
+	// Use the widest batch capacity any queued same-kernel variant
+	// offers: a batch-1 variant at the head must not cap a launch that
+	// batched variants behind it could share.
+	cap := 1
+	for _, t := range g.queue {
+		if t.Kernel == head.Kernel && t.Batch > cap {
+			cap = t.Batch
+		}
+	}
+	// Gather up to cap tasks of the head's KERNEL from anywhere in the
+	// queue — a per-kernel batch queue, the way serving systems coalesce
+	// same-model launches. Tasks planned with different implementation
+	// variants of the same kernel still share one launch (the head's
+	// variant): fragmenting batches by directive variant would collapse
+	// the GPU's throughput exactly when the scheduler is load-balancing
+	// variants under pressure.
+	batch := make([]*Task, 0, cap)
+	keep := make([]*Task, 0, len(g.queue))
+	for _, t := range g.queue {
+		if len(batch) < cap && t.Kernel == head.Kernel {
+			batch = append(batch, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	if len(batch) < cap && head.WindowMS > 0 {
+		deadline := head.enqueuedAt + sim.Time(head.WindowMS)
+		if g.sim.Now() < deadline {
+			// Re-assemble the original queue order and wait out the window.
+			g.queue = append(batch, keep...)
+			g.pending = true
+			g.sim.At(deadline, g.launch)
+			return
+		}
+	}
+	g.queue = keep
+
+	lvl := g.spec.DVFS[g.level]
+	latMS := head.LatencyMS
+	powerRef := head
+	for _, t := range batch {
+		if t.LatencyMS > latMS {
+			latMS = t.LatencyMS
+			powerRef = t
+		}
+	}
+	dur := sim.Time(latMS / lvl.FreqScale * g.Perturb(powerRef.ImplID))
+	g.launches++
+	g.tasks += len(batch)
+	g.busyMS += float64(dur)
+	if LaunchTrace != nil {
+		LaunchTrace(g.name, head.Kernel, len(batch), cap, len(keep), float64(dur))
+	}
+	g.running = true
+	active := g.spec.IdlePowerW + (powerRef.PowerW-g.spec.IdlePowerW)*lvl.PowerScale
+	g.setPower(active)
+	g.freeAt = g.sim.Now() + dur
+	g.sim.After(dur, func() {
+		done := g.sim.Now()
+		g.running = false
+		for _, t := range batch {
+			if t.OnDone != nil {
+				t.OnDone(done)
+			}
+		}
+		g.launch()
+	})
+}
+
+// NextFreeAt reports when the board could start another launch, counting
+// the queue's accumulated work at the current DVFS point.
+func (g *GPUDevice) NextFreeAt() sim.Time {
+	at := g.sim.Now()
+	if g.running && g.freeAt > at {
+		at = g.freeAt
+	}
+	lvl := g.spec.DVFS[g.level]
+	// Pending queue work, batch-compressed: each implementation's queued
+	// tasks coalesce into ceil(n/batch) launches.
+	type group struct {
+		n, cap int
+		lat    float64
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range g.queue {
+		gr := groups[t.Kernel]
+		if gr == nil {
+			gr = &group{cap: 1}
+			groups[t.Kernel] = gr
+			order = append(order, t.Kernel)
+		}
+		if t.Batch > gr.cap {
+			gr.cap = t.Batch
+		}
+		if t.LatencyMS > gr.lat {
+			gr.lat = t.LatencyMS
+		}
+		gr.n++
+	}
+	for _, id := range order {
+		gr := groups[id]
+		launches := (gr.n + gr.cap - 1) / gr.cap
+		at += sim.Time(float64(launches) * gr.lat / lvl.FreqScale)
+	}
+	return at
+}
+
+// QueueLen returns waiting plus running launches.
+func (g *GPUDevice) QueueLen() int {
+	n := len(g.queue)
+	if g.running {
+		n++
+	}
+	return n
+}
+
+// Perturb implements Accelerator with a ±4 % deterministic noise band.
+func (g *GPUDevice) Perturb(implID string) float64 { return perturb(g.name+"/"+implID, 0.04) }
+
+// FPGADevice simulates one FPGA board: a request pipeline for the loaded
+// bitstream, with reconfiguration when the implementation changes and a
+// low-power shell state for idle periods.
+type FPGADevice struct {
+	accelBase
+	spec      FPGASpec
+	loaded    string // ImplID of the resident bitstream; "" = blank shell
+	lowPower  bool
+	queue     []*Task
+	inflight  int
+	nextInit  sim.Time
+	draining  bool
+	reconfigs int
+}
+
+// NewFPGA attaches a simulated FPGA board to a simulator.
+func NewFPGA(s *sim.Simulator, name string, spec FPGASpec) *FPGADevice {
+	f := &FPGADevice{accelBase: accelBase{name: name, sim: s}, spec: spec}
+	f.setPower(spec.IdlePowerW)
+	return f
+}
+
+// Class returns FPGA.
+func (f *FPGADevice) Class() Class { return FPGA }
+
+// Loaded returns the resident implementation ID ("" when blank).
+func (f *FPGADevice) Loaded() string { return f.loaded }
+
+// EnterLowPower clock-gates the idle fabric, cutting idle draw by 40 %
+// while keeping the resident bitstream (so the next request pays no
+// reconfiguration). No-op while work is queued or in flight.
+func (f *FPGADevice) EnterLowPower() {
+	if f.inflight > 0 || len(f.queue) > 0 {
+		return
+	}
+	f.lowPower = true
+	f.setPower(f.spec.IdlePowerW * 0.6)
+}
+
+// Reconfigs returns how many bitstream loads the board performed
+// (including background preloads).
+func (f *FPGADevice) Reconfigs() int { return f.reconfigs }
+
+// Idle reports whether the board has no queued or in-flight work.
+func (f *FPGADevice) Idle() bool { return f.inflight == 0 && len(f.queue) == 0 && !f.draining }
+
+// Preload flashes a bitstream onto an idle board in the background, so
+// the implementation is resident before any request needs it. No-op if
+// the board has work, is mid-reconfiguration, or already holds implID.
+func (f *FPGADevice) Preload(implID string) {
+	if !f.Idle() || f.loaded == implID || implID == "" {
+		return
+	}
+	f.reconfigs++
+	f.lowPower = false
+	f.draining = true // block submissions from racing the flash
+	f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
+	f.loaded = implID
+	f.nextInit = f.sim.Now() + sim.Time(f.spec.ReconfigMS)
+	f.sim.At(f.nextInit, func() {
+		f.draining = false
+		if f.inflight == 0 && len(f.queue) == 0 {
+			f.setPower(f.spec.IdlePowerW)
+		} else {
+			f.drain()
+		}
+	})
+}
+
+// Submit enqueues a task; it starts as soon as the pipeline's initiation
+// interval and any needed reconfiguration allow.
+func (f *FPGADevice) Submit(t *Task) {
+	f.queue = append(f.queue, t)
+	if !f.draining {
+		f.drain()
+	}
+}
+
+// drain starts queued tasks respecting reconfiguration and the II.
+func (f *FPGADevice) drain() {
+	if len(f.queue) == 0 {
+		f.draining = false
+		if f.inflight == 0 {
+			f.setPower(f.spec.IdlePowerW)
+		}
+		return
+	}
+	f.draining = true
+	t := f.queue[0]
+
+	if f.loaded != t.ImplID {
+		// Reconfigure, then retry the drain.
+		f.reconfigs++
+		f.lowPower = false
+		f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
+		f.loaded = t.ImplID
+		f.nextInit = f.sim.Now() + sim.Time(f.spec.ReconfigMS)
+		f.sim.At(f.nextInit, f.drain)
+		return
+	}
+	now := f.sim.Now()
+	if now < f.nextInit {
+		f.sim.At(f.nextInit, f.drain)
+		return
+	}
+	f.queue = f.queue[1:]
+	noise := f.Perturb(t.ImplID)
+	lat := sim.Time(t.LatencyMS * noise)
+	ii := sim.Time(t.IntervalMS * noise)
+	if ii <= 0 || ii > lat {
+		ii = lat
+	}
+	f.inflight++
+	f.setPower(t.PowerW)
+	f.nextInit = now + ii
+	f.sim.After(lat, func() {
+		f.inflight--
+		if t.OnDone != nil {
+			t.OnDone(f.sim.Now())
+		}
+		if f.inflight == 0 && len(f.queue) == 0 {
+			f.setPower(f.spec.IdlePowerW)
+		}
+	})
+	if len(f.queue) > 0 {
+		f.sim.At(f.nextInit, f.drain)
+	} else {
+		f.draining = false
+	}
+}
+
+// NextFreeAt reports when a new task could initiate, including pending
+// reconfiguration and queued initiations.
+func (f *FPGADevice) NextFreeAt() sim.Time {
+	at := f.sim.Now()
+	if f.nextInit > at {
+		at = f.nextInit
+	}
+	for _, t := range f.queue {
+		ii := t.IntervalMS
+		if ii <= 0 || ii > t.LatencyMS {
+			ii = t.LatencyMS
+		}
+		at += sim.Time(ii)
+	}
+	return at
+}
+
+// QueueLen returns waiting plus in-flight tasks.
+func (f *FPGADevice) QueueLen() int { return len(f.queue) + f.inflight }
+
+// Perturb implements Accelerator with a ±5 % deterministic noise band.
+func (f *FPGADevice) Perturb(implID string) float64 { return perturb(f.name+"/"+implID, 0.05) }
+
+var (
+	_ Accelerator = (*GPUDevice)(nil)
+	_ Accelerator = (*FPGADevice)(nil)
+)
+
+// String describes the board for logs.
+func (g *GPUDevice) String() string {
+	return fmt.Sprintf("%s(%s)", g.name, g.spec.Name)
+}
+
+// String describes the board for logs.
+func (f *FPGADevice) String() string {
+	return fmt.Sprintf("%s(%s)", f.name, f.spec.Name)
+}

@@ -1,0 +1,185 @@
+// Package device models the hardware substrate of a Poly leaf node: GPU
+// and FPGA accelerator boards attached over PCIe, with event-level
+// execution, queueing, batching, DVFS, FPGA reconfiguration, and power
+// accounting.
+//
+// The paper evaluates on real boards (Tables IV and V). We transcribe
+// those specifications here and drive them with a discrete-event simulator
+// (see gpu.go, fpga.go); the simulator plays the role of "real hardware"
+// that the analytical models in internal/model are validated against.
+package device
+
+import "fmt"
+
+// Class distinguishes the two accelerator families.
+type Class int
+
+// Accelerator classes.
+const (
+	GPU Class = iota
+	FPGA
+)
+
+// String returns "GPU" or "FPGA".
+func (c Class) String() string {
+	switch c {
+	case GPU:
+		return "GPU"
+	case FPGA:
+		return "FPGA"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// DVFSLevel is one operating point of a device's frequency/voltage ladder.
+type DVFSLevel struct {
+	// FreqScale multiplies the nominal clock (1.0 = nominal).
+	FreqScale float64
+	// PowerScale multiplies the dynamic power (≈ V²f; sub-cubic in
+	// practice because voltage floors).
+	PowerScale float64
+}
+
+// GPUSpec describes one GPU board (Table IV).
+type GPUSpec struct {
+	Name     string
+	Cores    int
+	FreqMHz  float64
+	MemGB    int
+	MemBWGBs float64 // global-memory bandwidth
+	// PeakPowerW is the board TDP; IdlePowerW is the powered-on idle
+	// draw — GPUs idle high, which drives the paper's energy-
+	// proportionality gap (Section VI-C).
+	PeakPowerW float64
+	IdlePowerW float64
+	// ProvisionPowerW is the per-board power budget the node provisioner
+	// charges against the power cap; chosen to reproduce the accelerator
+	// counts of Table III.
+	ProvisionPowerW float64
+	PriceUSD        float64
+	// DVFS is the frequency ladder, fastest first.
+	DVFS []DVFSLevel
+}
+
+// FPGASpec describes one FPGA board (Table V).
+type FPGASpec struct {
+	Name       string
+	FreqMHz    float64
+	LogicCells int // in thousands (K cells)
+	BRAMMB     float64
+	DSPSlices  int
+	MemBWGBs   float64
+	PeakPowerW float64
+	// IdlePowerW is static power with a blank/idle shell loaded.
+	IdlePowerW      float64
+	ProvisionPowerW float64
+	PriceUSD        float64
+	// ReconfigMS is the time to load a different kernel bitstream.
+	ReconfigMS float64
+}
+
+// defaultDVFS is a three-step ladder used by both GPU families: boost,
+// nominal, and a deep power-save state for idle tails.
+var defaultDVFS = []DVFSLevel{
+	{FreqScale: 1.0, PowerScale: 1.0},
+	{FreqScale: 0.7, PowerScale: 0.45},
+	{FreqScale: 0.4, PowerScale: 0.2},
+}
+
+// The GPU boards of Table IV.
+var (
+	// AMDW9100 is the AMD FirePro W9100 (Setting-I).
+	AMDW9100 = GPUSpec{
+		Name:            "AMD FirePro W9100",
+		Cores:           2816,
+		FreqMHz:         930,
+		MemGB:           32,
+		MemBWGBs:        320,
+		PeakPowerW:      270,
+		IdlePowerW:      42,
+		ProvisionPowerW: 250,
+		PriceUSD:        4999,
+		DVFS:            defaultDVFS,
+	}
+	// NvidiaK20 is the NVIDIA Tesla K20 (Settings II and III).
+	NvidiaK20 = GPUSpec{
+		Name:            "NVIDIA Tesla K20",
+		Cores:           2496,
+		FreqMHz:         706,
+		MemGB:           5,
+		MemBWGBs:        208,
+		PeakPowerW:      225,
+		IdlePowerW:      25,
+		ProvisionPowerW: 250,
+		PriceUSD:        2999,
+		DVFS:            defaultDVFS,
+	}
+)
+
+// The FPGA boards of Table V.
+var (
+	// Xilinx7V3 is the Virtex7-690t ADM-PCIE-7V3 (Setting-I).
+	Xilinx7V3 = FPGASpec{
+		Name:            "Xilinx Virtex7-690t ADM-PCIE-7V3",
+		FreqMHz:         470,
+		LogicCells:      693,
+		BRAMMB:          6.5,
+		DSPSlices:       3600,
+		MemBWGBs:        12,
+		PeakPowerW:      45,
+		IdlePowerW:      8,
+		ProvisionPowerW: 50,
+		PriceUSD:        3200,
+		ReconfigMS:      80,
+	}
+	// XilinxZCU102 is the Zynq UltraScale+ ZCU102 (Setting-II).
+	XilinxZCU102 = FPGASpec{
+		Name:            "Xilinx Zynq UltraScale+ ZCU102",
+		FreqMHz:         333,
+		LogicCells:      600,
+		BRAMMB:          4.0,
+		DSPSlices:       2520,
+		MemBWGBs:        19,
+		PeakPowerW:      30,
+		IdlePowerW:      5,
+		ProvisionPowerW: 31,
+		PriceUSD:        2495,
+		ReconfigMS:      60,
+	}
+	// IntelArria10 is the Arria 10 GX115 (Setting-III). Table V prints its
+	// logic capacity as 43K cells, which is a typo for the part's ~427K
+	// ALMs; we use 430K so the resource model is not artificially starved.
+	IntelArria10 = FPGASpec{
+		Name:            "Intel Arria 10 GX115",
+		FreqMHz:         800,
+		LogicCells:      430,
+		BRAMMB:          8.2,
+		DSPSlices:       1518,
+		MemBWGBs:        17,
+		PeakPowerW:      65,
+		IdlePowerW:      12,
+		ProvisionPowerW: 62,
+		PriceUSD:        4495,
+		ReconfigMS:      70,
+	}
+)
+
+// PCIeSpec models the host↔accelerator interconnect shared by every board
+// in the prototype server (PCIe 3.0 x8 per slot).
+type PCIeSpec struct {
+	BandwidthGBs float64
+	// LatencyUS is the fixed per-transfer setup latency in microseconds.
+	LatencyUS float64
+}
+
+// DefaultPCIe is the interconnect used by all three settings.
+var DefaultPCIe = PCIeSpec{BandwidthGBs: 8, LatencyUS: 20}
+
+// TransferMS returns the time to move n bytes over the link, in
+// milliseconds. Zero-byte transfers still pay the setup latency.
+func (p PCIeSpec) TransferMS(n int64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return p.LatencyUS/1000 + float64(n)/(p.BandwidthGBs*1e9)*1000
+}

@@ -1,0 +1,240 @@
+package dse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"poly/internal/analysis"
+	"poly/internal/device"
+	"poly/internal/model"
+	"poly/internal/opencl"
+)
+
+const lstmSrc = `
+program asr
+kernel lstm
+  repeat 1500
+  const w f32[1024x1024]
+  in x f32[1024]
+  map      m1(x w, func=mac ops=2048 elems=1024)
+  reduce   r1(m1, func=add assoc elems=1024)
+  map      m2(r1, func=sigmoid ops=4)
+  pipeline p1(m2, funcs=[mul:1 add:1 tanh:4])
+  out p1
+`
+
+func analyzed(t *testing.T) *analysis.Kernel {
+	t.Helper()
+	prog := opencl.MustParse(lstmSrc)
+	ka, err := analysis.AnalyzeKernel(prog.Kernel("lstm"), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ka
+}
+
+func TestExploreBothPlatforms(t *testing.T) {
+	ka := analyzed(t)
+	g, err := Explore(ka, device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Explore(ka, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Space{g, f} {
+		if s.Enumerated < 16 {
+			t.Fatalf("%s enumerated only %d designs", s.Board, s.Enumerated)
+		}
+		if len(s.Feasible) == 0 || len(s.Pareto) == 0 {
+			t.Fatalf("%s: empty spaces", s.Board)
+		}
+		if len(s.Pareto) > len(s.Feasible) {
+			t.Fatalf("%s: Pareto bigger than feasible set", s.Board)
+		}
+		for i := 1; i < len(s.Pareto); i++ {
+			if s.Pareto[i].LatencyMS < s.Pareto[i-1].LatencyMS {
+				t.Fatalf("%s: Pareto not latency-sorted", s.Board)
+			}
+		}
+	}
+	if len(f.Feasible) > f.Enumerated {
+		t.Fatalf("FPGA feasible %d exceeds enumerated %d", len(f.Feasible), f.Enumerated)
+	}
+}
+
+func TestExploreFiltersInfeasibleFPGAConfigs(t *testing.T) {
+	// 5 MB of weights almost fills the 6.5 MB board; fused variants that
+	// additionally buffer intermediates on-chip must be rejected.
+	src := `
+program p
+kernel big
+  const w f32[1310720]
+  in x f32[262144]
+  map m1(x w, func=mac ops=16 elems=262144)
+  map m2(m1, func=add ops=1)
+`
+	prog := opencl.MustParse(src)
+	ka, err := analysis.AnalyzeKernel(prog.Kernel("big"), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Explore(ka, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Feasible) >= s.Enumerated {
+		t.Fatalf("no config rejected (%d of %d)", len(s.Feasible), s.Enumerated)
+	}
+}
+
+func TestParetoNoDominatedSurvives(t *testing.T) {
+	ka := analyzed(t)
+	for _, spec := range []any{device.AMDW9100, device.Xilinx7V3} {
+		s, err := Explore(ka, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range s.Pareto {
+			for j, b := range s.Pareto {
+				if i == j {
+					continue
+				}
+				if dominates(a, b) {
+					t.Fatalf("%s: frontier point %d dominates frontier point %d", s.Board, i, j)
+				}
+			}
+		}
+		// Every feasible point is dominated by or equal to a frontier point.
+		for _, cand := range s.Feasible {
+			ok := false
+			for _, f := range s.Pareto {
+				if f == cand || dominates(f, cand) ||
+					(f.LatencyMS == cand.LatencyMS && f.PowerW == cand.PowerW && f.ThroughputRPS == cand.ThroughputRPS) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("%s: feasible point %v not covered by frontier", s.Board, cand)
+			}
+		}
+	}
+}
+
+func TestFrontierSelectors(t *testing.T) {
+	ka := analyzed(t)
+	s, err := Explore(ka, device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLat := s.MinLatency()
+	maxEff := s.MaxEfficiency()
+	maxThr := s.MaxThroughput()
+	if minLat == nil || maxEff == nil || maxThr == nil {
+		t.Fatal("selectors returned nil on non-empty frontier")
+	}
+	for _, im := range s.Pareto {
+		if im.LatencyMS < minLat.LatencyMS {
+			t.Fatal("MinLatency not minimal")
+		}
+		if im.EfficiencyRPSPerW() > maxEff.EfficiencyRPSPerW() {
+			t.Fatal("MaxEfficiency not maximal")
+		}
+		if im.ThroughputRPS > maxThr.ThroughputRPS {
+			t.Fatal("MaxThroughput not maximal")
+		}
+	}
+	var empty Space
+	if empty.MinLatency() != nil || empty.MaxEfficiency() != nil || empty.MaxThroughput() != nil {
+		t.Fatal("selectors on empty space must return nil")
+	}
+}
+
+func TestFrontierShowsLatencyPowerTradeoff(t *testing.T) {
+	// Fig. 1(c): the frontier must contain genuinely different operating
+	// points, not a single dominant design.
+	ka := analyzed(t)
+	for _, spec := range []any{device.AMDW9100, device.Xilinx7V3} {
+		s, err := Explore(ka, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Pareto) < 2 {
+			t.Fatalf("%s: frontier has %d point(s); no trade-off exposed", s.Board, len(s.Pareto))
+		}
+	}
+}
+
+func TestExploreProgramAndLookup(t *testing.T) {
+	prog := opencl.MustParse(lstmSrc)
+	pa, err := analysis.AnalyzeProgram(prog, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := ExploreProgram(pa, device.AMDW9100, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Space("lstm", device.GPU) == nil || ks.Space("lstm", device.FPGA) == nil {
+		t.Fatal("program spaces missing")
+	}
+	if ks.Space("nope", device.GPU) != nil {
+		t.Fatal("unknown kernel should return nil")
+	}
+}
+
+func TestExploreRejectsUnknownSpec(t *testing.T) {
+	ka := analyzed(t)
+	if _, err := Explore(ka, "bogus"); err == nil {
+		t.Fatal("unknown spec type accepted")
+	}
+}
+
+// Property: ParetoFilter invariants on synthetic points — no survivor is
+// dominated, every input is covered, and the filter is idempotent.
+func TestParetoFilterProperty(t *testing.T) {
+	f := func(raw []struct{ L, P, T uint16 }) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var impls []*model.Impl
+		for _, r := range raw {
+			impls = append(impls, &model.Impl{
+				LatencyMS:     float64(r.L%500) + 1,
+				PowerW:        float64(r.P%300) + 1,
+				ThroughputRPS: float64(r.T%1000) + 1,
+			})
+		}
+		front := ParetoFilter(impls)
+		if len(front) == 0 {
+			return false
+		}
+		for i, a := range front {
+			for j, b := range front {
+				if i != j && dominates(a, b) {
+					return false
+				}
+			}
+		}
+		for _, c := range impls {
+			ok := false
+			for _, fr := range front {
+				if fr == c || dominates(fr, c) ||
+					(fr.LatencyMS == c.LatencyMS && fr.PowerW == c.PowerW && fr.ThroughputRPS == c.ThroughputRPS) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		again := ParetoFilter(front)
+		return len(again) == len(front)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

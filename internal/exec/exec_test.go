@@ -1,0 +1,261 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int) *Tensor {
+	t := NewTensor(n)
+	for i := range t.Data {
+		t.Data[i] = float64(i)
+	}
+	return t
+}
+
+func TestTensorBasics(t *testing.T) {
+	m := NewTensor(3, 4)
+	if m.Len() != 12 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	m.Set(7, 2, 3)
+	if m.At(2, 3) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	c := m.Clone()
+	c.Set(9, 0, 0)
+	if m.At(0, 0) == 9 {
+		t.Fatal("clone shares storage")
+	}
+	s := FromSlice([]float64{1, 2, 3})
+	if s.Len() != 3 || s.At(1) != 2 {
+		t.Fatal("FromSlice wrong")
+	}
+}
+
+func TestTensorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero dim":  func() { NewTensor(0) },
+		"bad arity": func() { NewTensor(2, 2).At(1) },
+		"bad index": func() { NewTensor(2, 2).At(2, 0) },
+		"neg index": func() { NewTensor(2).At(-1) },
+		"map len":   func() { DefaultCtx.Map(NewTensor(2), NewTensor(3), func(x float64) float64 { return x }) },
+		"zip len": func() {
+			DefaultCtx.Zip(NewTensor(2), NewTensor(2), NewTensor(3), func(a, b float64) float64 { return a })
+		},
+		"scan len":    func() { DefaultCtx.Scan(NewTensor(2), NewTensor(3), func(a, b float64) float64 { return a }) },
+		"gather len":  func() { DefaultCtx.Gather(NewTensor(2), NewTensor(4), []int{0}) },
+		"scatter len": func() { DefaultCtx.Scatter(NewTensor(4), NewTensor(2), []int{0}) },
+		"scatter oob": func() { DefaultCtx.Scatter(NewTensor(2), NewTensor(2), []int{0, 5}) },
+		"scatter dup": func() { DefaultCtx.Scatter(NewTensor(4), NewTensor(2), []int{1, 1}) },
+		"pack none":   func() { DefaultCtx.Pack() },
+		"pack len":    func() { DefaultCtx.Pack(NewTensor(2), NewTensor(3)) },
+		"tile 1d":     func() { DefaultCtx.Tile(NewTensor(4), 2, 2) },
+		"tile size":   func() { DefaultCtx.Tile(NewTensor(2, 2), 0, 2) },
+		"matvec":      func() { DefaultCtx.MatVec(NewTensor(2, 3), NewTensor(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMapAndZip(t *testing.T) {
+	in := seq(1000)
+	out := NewTensor(1000)
+	DefaultCtx.Map(out, in, func(x float64) float64 { return 2 * x })
+	for i, v := range out.Data {
+		if v != 2*float64(i) {
+			t.Fatalf("map[%d] = %v", i, v)
+		}
+	}
+	z := NewTensor(1000)
+	DefaultCtx.Zip(z, in, out, func(a, b float64) float64 { return b - a })
+	for i, v := range z.Data {
+		if v != float64(i) {
+			t.Fatalf("zip[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	in := seq(10000)
+	seqOut, parOut := NewTensor(10000), NewTensor(10000)
+	Ctx{WorkGroup: 128}.Map(seqOut, in, math.Sqrt)
+	Ctx{WorkGroup: 128, Parallel: true}.Map(parOut, in, math.Sqrt)
+	for i := range seqOut.Data {
+		if seqOut.Data[i] != parOut.Data[i] {
+			t.Fatalf("parallel map diverged at %d", i)
+		}
+	}
+}
+
+func TestReduceMatchesSerial(t *testing.T) {
+	in := seq(1537) // not a multiple of the work-group size
+	got := Ctx{WorkGroup: 64}.Reduce(in, 0, func(a, x float64) float64 { return a + x })
+	want := 1536.0 * 1537 / 2
+	if got != want {
+		t.Fatalf("reduce = %v, want %v", got, want)
+	}
+	max := Ctx{WorkGroup: 32}.Reduce(in, math.Inf(-1), math.Max)
+	if max != 1536 {
+		t.Fatalf("max = %v", max)
+	}
+	empty := DefaultCtx.Reduce(NewTensor(1), 5, func(a, x float64) float64 { return a + x })
+	if empty != 5 {
+		t.Fatalf("reduce singleton-zero = %v", empty)
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	in := FromSlice([]float64{1, 2, 3, 4})
+	out := NewTensor(4)
+	DefaultCtx.Scan(out, in, func(a, x float64) float64 { return a + x })
+	want := []float64{1, 3, 6, 10}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("scan = %v", out.Data)
+		}
+	}
+}
+
+func TestStencil1DAveragesWithClamp(t *testing.T) {
+	in := FromSlice([]float64{1, 2, 3, 4, 5})
+	out := NewTensor(5)
+	DefaultCtx.Stencil1D(out, in, 1, func(w []float64) float64 {
+		return (w[0] + w[1] + w[2]) / 3
+	})
+	// Border clamps: out[0] = (1+1+2)/3.
+	if math.Abs(out.Data[0]-4.0/3) > 1e-12 || out.Data[2] != 3 {
+		t.Fatalf("stencil = %v", out.Data)
+	}
+}
+
+func TestStencil2DIdentityAndBlur(t *testing.T) {
+	in := NewTensor(4, 4)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	id := NewTensor(4, 4)
+	DefaultCtx.Stencil2D(id, in, 1, func(w []float64) float64 { return w[4] })
+	for i := range in.Data {
+		if id.Data[i] != in.Data[i] {
+			t.Fatal("centre-tap stencil must be identity")
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	in := seq(8)
+	idx := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	g := NewTensor(8)
+	DefaultCtx.Gather(g, in, idx)
+	if g.Data[0] != 7 || g.Data[7] != 0 {
+		t.Fatalf("gather = %v", g.Data)
+	}
+	s := NewTensor(8)
+	DefaultCtx.Scatter(s, g, idx)
+	for i := range s.Data {
+		if s.Data[i] != in.Data[i] {
+			t.Fatalf("scatter∘gather not identity: %v", s.Data)
+		}
+	}
+}
+
+func TestGatherScatterPermutationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		// Fisher-Yates keyed by raw.
+		for i := n - 1; i > 0; i-- {
+			j := int(raw[i]) % (i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		in := seq(n)
+		g, s := NewTensor(n), NewTensor(n)
+		DefaultCtx.Gather(g, in, perm)
+		DefaultCtx.Scatter(s, g, perm)
+		for i := range s.Data {
+			if s.Data[i] != in.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineChains(t *testing.T) {
+	doubler := func(in *Tensor) *Tensor {
+		out := NewTensor(in.Len())
+		DefaultCtx.Map(out, in, func(x float64) float64 { return 2 * x })
+		return out
+	}
+	got := DefaultCtx.Pipeline(seq(4), doubler, doubler, doubler)
+	if got.Data[3] != 24 {
+		t.Fatalf("pipeline = %v", got.Data)
+	}
+}
+
+func TestTileUntileRoundTrip(t *testing.T) {
+	in := NewTensor(5, 7)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	tiles := DefaultCtx.Tile(in, 2, 3)
+	if len(tiles) != 3*3 {
+		t.Fatalf("tiles = %d, want 9", len(tiles))
+	}
+	back := DefaultCtx.Untile(tiles, 5, 7, 2, 3)
+	for i := range in.Data {
+		if back.Data[i] != in.Data[i] {
+			t.Fatal("tile/untile not identity")
+		}
+	}
+}
+
+func TestPackInterleaves(t *testing.T) {
+	a := FromSlice([]float64{1, 2})
+	b := FromSlice([]float64{10, 20})
+	p := DefaultCtx.Pack(a, b)
+	want := []float64{1, 10, 2, 20}
+	for i := range want {
+		if p.Data[i] != want[i] {
+			t.Fatalf("pack = %v", p.Data)
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewTensor(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	v := FromSlice([]float64{1, 1, 1})
+	out := DefaultCtx.MatVec(m, v)
+	if out.Data[0] != 6 || out.Data[1] != 15 {
+		t.Fatalf("matvec = %v", out.Data)
+	}
+	par := Ctx{Parallel: true, WorkGroup: 1}.MatVec(m, v)
+	if par.Data[0] != 6 || par.Data[1] != 15 {
+		t.Fatal("parallel matvec diverged")
+	}
+}
+
+func TestCtxDefaults(t *testing.T) {
+	if (Ctx{}).workGroup() != 256 {
+		t.Fatal("default work-group must be 256")
+	}
+}

@@ -1,0 +1,251 @@
+package exec
+
+import "fmt"
+
+// Map applies f to every element of in, writing to out. The two tensors
+// must have the same length (shapes may differ).
+func (c Ctx) Map(out, in *Tensor, f func(float64) float64) {
+	if out.Len() != in.Len() {
+		panic(fmt.Sprintf("exec: map length mismatch %d vs %d", out.Len(), in.Len()))
+	}
+	c.forEach(in.Len(), func(i int) {
+		out.Data[i] = f(in.Data[i])
+	})
+}
+
+// Zip applies a binary elemental function pairwise: out[i] = f(a[i], b[i]).
+func (c Ctx) Zip(out, a, b *Tensor, f func(x, y float64) float64) {
+	if a.Len() != b.Len() || out.Len() != a.Len() {
+		panic("exec: zip length mismatch")
+	}
+	c.forEach(a.Len(), func(i int) {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	})
+}
+
+// Reduce combines every element of in into one value with the associative
+// combiner f, starting from init. Work-groups reduce locally first, then
+// the partials combine serially — the tree/serial structure of Table I.
+func (c Ctx) Reduce(in *Tensor, init float64, f func(acc, x float64) float64) float64 {
+	wg := c.workGroup()
+	n := in.Len()
+	var partials []float64
+	for start := 0; start < n; start += wg {
+		end := start + wg
+		if end > n {
+			end = n
+		}
+		acc := init
+		for i := start; i < end; i++ {
+			acc = f(acc, in.Data[i])
+		}
+		partials = append(partials, acc)
+	}
+	if len(partials) == 0 {
+		return init
+	}
+	// Combining partials with f assumes associativity and that init is
+	// f's identity; all Table I combiners (add, mul, max) qualify.
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = f(acc, p)
+	}
+	return acc
+}
+
+// Scan writes the inclusive prefix combination of in to out.
+func (c Ctx) Scan(out, in *Tensor, f func(acc, x float64) float64) {
+	if out.Len() != in.Len() {
+		panic("exec: scan length mismatch")
+	}
+	if in.Len() == 0 {
+		return
+	}
+	acc := in.Data[0]
+	out.Data[0] = acc
+	for i := 1; i < in.Len(); i++ {
+		acc = f(acc, in.Data[i])
+		out.Data[i] = acc
+	}
+}
+
+// Stencil1D applies a sliding window: out[i] = f(window centred at i).
+// Borders clamp to the edge elements, the common image convention.
+func (c Ctx) Stencil1D(out, in *Tensor, radius int, f func(window []float64) float64) {
+	if out.Len() != in.Len() {
+		panic("exec: stencil length mismatch")
+	}
+	n := in.Len()
+	c.forEach(n, func(i int) {
+		window := make([]float64, 2*radius+1)
+		for o := -radius; o <= radius; o++ {
+			j := i + o
+			if j < 0 {
+				j = 0
+			}
+			if j >= n {
+				j = n - 1
+			}
+			window[o+radius] = in.Data[j]
+		}
+		out.Data[i] = f(window)
+	})
+}
+
+// Stencil2D applies an r×r neighbourhood function over a 2-D tensor with
+// clamped borders.
+func (c Ctx) Stencil2D(out, in *Tensor, radius int, f func(window []float64) float64) {
+	if len(in.Shape) != 2 || len(out.Shape) != 2 {
+		panic("exec: stencil2d requires 2-D tensors")
+	}
+	h, w := in.Shape[0], in.Shape[1]
+	if out.Shape[0] != h || out.Shape[1] != w {
+		panic("exec: stencil2d shape mismatch")
+	}
+	side := 2*radius + 1
+	c.forEach(h*w, func(idx int) {
+		y, x := idx/w, idx%w
+		window := make([]float64, side*side)
+		k := 0
+		for dy := -radius; dy <= radius; dy++ {
+			for dx := -radius; dx <= radius; dx++ {
+				yy, xx := clamp(y+dy, h), clamp(x+dx, w)
+				window[k] = in.Data[yy*w+xx]
+				k++
+			}
+		}
+		out.Data[idx] = f(window)
+	})
+}
+
+func clamp(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// Gather reads out[i] = in[idx[i]]. Indices must be in range.
+func (c Ctx) Gather(out, in *Tensor, idx []int) {
+	if out.Len() != len(idx) {
+		panic("exec: gather length mismatch")
+	}
+	c.forEach(len(idx), func(i int) {
+		out.Data[i] = in.Data[idx[i]]
+	})
+}
+
+// Scatter writes out[idx[i]] = in[i]. Duplicate indices are a programming
+// error the executor rejects, matching OpenCL's undefined behaviour with
+// a loud failure instead of silent nondeterminism.
+func (c Ctx) Scatter(out, in *Tensor, idx []int) {
+	if in.Len() != len(idx) {
+		panic("exec: scatter length mismatch")
+	}
+	seen := make(map[int]bool, len(idx))
+	for _, j := range idx {
+		if j < 0 || j >= out.Len() {
+			panic(fmt.Sprintf("exec: scatter index %d out of range", j))
+		}
+		if seen[j] {
+			panic(fmt.Sprintf("exec: scatter collision on index %d", j))
+		}
+		seen[j] = true
+	}
+	c.forEach(len(idx), func(i int) {
+		out.Data[idx[i]] = in.Data[i]
+	})
+}
+
+// Pipeline chains stage functions, each consuming the previous stage's
+// output tensor.
+func (c Ctx) Pipeline(in *Tensor, stages ...func(*Tensor) *Tensor) *Tensor {
+	cur := in
+	for _, stage := range stages {
+		cur = stage(cur)
+	}
+	return cur
+}
+
+// Tile decomposes a 2-D tensor into th×tw tiles (row-major tile order).
+// Partial tiles at the borders are zero-padded.
+func (c Ctx) Tile(in *Tensor, th, tw int) []*Tensor {
+	if len(in.Shape) != 2 {
+		panic("exec: tile requires a 2-D tensor")
+	}
+	if th <= 0 || tw <= 0 {
+		panic("exec: non-positive tile size")
+	}
+	h, w := in.Shape[0], in.Shape[1]
+	var tiles []*Tensor
+	for y := 0; y < h; y += th {
+		for x := 0; x < w; x += tw {
+			t := NewTensor(th, tw)
+			for dy := 0; dy < th && y+dy < h; dy++ {
+				for dx := 0; dx < tw && x+dx < w; dx++ {
+					t.Data[dy*tw+dx] = in.Data[(y+dy)*w+x+dx]
+				}
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles
+}
+
+// Untile reassembles Tile's output into an h×w tensor, discarding padding.
+func (c Ctx) Untile(tiles []*Tensor, h, w, th, tw int) *Tensor {
+	out := NewTensor(h, w)
+	cols := (w + tw - 1) / tw
+	for ti, t := range tiles {
+		y0, x0 := (ti/cols)*th, (ti%cols)*tw
+		for dy := 0; dy < th && y0+dy < h; dy++ {
+			for dx := 0; dx < tw && x0+dx < w; dx++ {
+				out.Data[(y0+dy)*w+x0+dx] = t.Data[dy*tw+dx]
+			}
+		}
+	}
+	return out
+}
+
+// Pack interleaves multiple tensors element-wise into one (AoS layout),
+// the Pack pattern used by the FC and coding kernels of Table II.
+func (c Ctx) Pack(ins ...*Tensor) *Tensor {
+	if len(ins) == 0 {
+		panic("exec: pack of nothing")
+	}
+	n := ins[0].Len()
+	for _, t := range ins {
+		if t.Len() != n {
+			panic("exec: pack length mismatch")
+		}
+	}
+	out := NewTensor(n * len(ins))
+	c.forEach(n, func(i int) {
+		for j, t := range ins {
+			out.Data[i*len(ins)+j] = t.Data[i]
+		}
+	})
+	return out
+}
+
+// MatVec computes out = M·v for an (r×c) matrix tensor — the Map+Reduce
+// composition at the heart of the LSTM and FC kernels.
+func (c Ctx) MatVec(m, v *Tensor) *Tensor {
+	if len(m.Shape) != 2 || m.Shape[1] != v.Len() {
+		panic("exec: matvec shape mismatch")
+	}
+	r, cols := m.Shape[0], m.Shape[1]
+	out := NewTensor(r)
+	c.forEach(r, func(i int) {
+		var acc float64
+		row := m.Data[i*cols : (i+1)*cols]
+		for j, x := range v.Data {
+			acc += row[j] * x
+		}
+		out.Data[i] = acc
+	})
+	return out
+}

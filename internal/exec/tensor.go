@@ -1,0 +1,120 @@
+// Package exec provides functional executors for Poly's nine parallel
+// patterns over host tensors. The device simulators decide *when* a
+// kernel finishes and at what power; this package is what the kernel
+// *computes* — the applications in internal/apps build their reference
+// implementations (LSTM cells, Black-Scholes, Reed-Solomon, arithmetic
+// coding, …) out of these executors, so correctness is testable
+// end-to-end.
+//
+// Executors follow OpenCL's execution model loosely: work is split into
+// work-groups processed concurrently (Ctx.WorkGroup, Ctx.Parallel), and
+// each work-item applies the elemental function.
+package exec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tensor is a dense row-major float64 collection with a logical shape.
+type Tensor struct {
+	Data  []float64
+	Shape []int
+}
+
+// NewTensor allocates a zero tensor with the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("exec: non-positive dimension %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{Data: make([]float64, n), Shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data in a 1-D tensor (no copy).
+func FromSlice(data []float64) *Tensor {
+	return &Tensor{Data: data, Shape: []int{len(data)}}
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// At reads the element at the given indices.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set writes the element at the given indices.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("exec: %d indices for %d-D tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("exec: index %d out of range [0,%d)", x, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Data: make([]float64, len(t.Data)), Shape: append([]int(nil), t.Shape...)}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Ctx configures executor behaviour.
+type Ctx struct {
+	// WorkGroup is the chunk size work is split into (256 if zero).
+	WorkGroup int
+	// Parallel runs work-groups on separate goroutines.
+	Parallel bool
+}
+
+// DefaultCtx runs sequentially with 256-wide work-groups.
+var DefaultCtx = Ctx{WorkGroup: 256}
+
+func (c Ctx) workGroup() int {
+	if c.WorkGroup <= 0 {
+		return 256
+	}
+	return c.WorkGroup
+}
+
+// ForEach runs fn(i) for every i in [0, n), split into work-groups and
+// parallelized per the context — the raw NDRange primitive the named
+// patterns are built on, exported for application kernels with custom
+// index math (convolution windows, coding contexts).
+func (c Ctx) ForEach(n int, fn func(i int)) { c.forEach(n, fn) }
+
+// forEach runs fn(i) for i in [0, n), split into work-groups.
+func (c Ctx) forEach(n int, fn func(i int)) {
+	wg := c.workGroup()
+	if !c.Parallel {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var group sync.WaitGroup
+	for start := 0; start < n; start += wg {
+		end := start + wg
+		if end > n {
+			end = n
+		}
+		group.Add(1)
+		go func(lo, hi int) {
+			defer group.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(start, end)
+	}
+	group.Wait()
+}

@@ -1,0 +1,250 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"poly/internal/apps"
+	"poly/internal/cluster"
+	"poly/internal/core"
+	"poly/internal/device"
+	"poly/internal/metrics"
+	"poly/internal/sim"
+)
+
+// ------------------------------------------------------------- fig13
+
+// ScalabilityResult is Fig. 13: maximum ASR throughput as the GPU/FPGA
+// power split varies from 0 % (Homo-FPGA) to 100 % (Homo-GPU) under a
+// 1000 W cap, for each hardware setting.
+type ScalabilityResult struct {
+	id string
+	// RPS[setting][i] is the max throughput at Splits[i] GPU share.
+	Splits []float64
+	RPS    map[string][]float64
+}
+
+// ID implements Result.
+func (r *ScalabilityResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *ScalabilityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fig13 — ASR max throughput vs GPU power share (1000 W cap)\n")
+	for _, k := range sortedKeys(r.RPS) {
+		fmt.Fprintf(&b, "  %-12s:", k)
+		for i, s := range r.Splits {
+			fmt.Fprintf(&b, " %3.0f%%→%6.1f", 100*s, r.RPS[k][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BestSplit returns the split with the highest throughput for a setting.
+func (r *ScalabilityResult) BestSplit(setting string) (share, rps float64) {
+	for i, v := range r.RPS[setting] {
+		if v > rps {
+			rps, share = v, r.Splits[i]
+		}
+	}
+	return share, rps
+}
+
+func archScalability() (Result, error) {
+	res := &ScalabilityResult{
+		id:     "fig13",
+		Splits: []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+		RPS:    map[string][]float64{},
+	}
+	for _, setting := range cluster.Settings() {
+		var row []float64
+		for _, split := range res.Splits {
+			var v float64
+			var err error
+			switch split {
+			case 0:
+				v, err = maxRPS("ASR", cluster.HomoFPGA, setting, 1000, 0)
+			case 1.0:
+				v, err = maxRPS("ASR", cluster.HomoGPU, setting, 1000, 0)
+			default:
+				v, err = maxRPS("ASR", cluster.HeterPoly, setting, 1000, split)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		res.RPS[setting.Name] = row
+	}
+	return res, nil
+}
+
+// ------------------------------------------------------------- fig14
+
+// CostEfficiencyResult is Fig. 14: max throughput per monthly TCO dollar,
+// per architecture and setting.
+type CostEfficiencyResult struct {
+	id string
+	// RPSPerUSD[setting][arch].
+	RPSPerUSD map[string]map[string]float64
+	// TCOUSD and MaxRPS hold the components for inspection.
+	TCOUSD map[string]map[string]float64
+	MaxRPS map[string]map[string]float64
+}
+
+// ID implements Result.
+func (r *CostEfficiencyResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *CostEfficiencyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fig14 — cost efficiency (max RPS per monthly TCO dollar)\n")
+	for _, setting := range sortedKeys(r.RPSPerUSD) {
+		fmt.Fprintf(&b, "  %s:\n", setting)
+		for _, arch := range sortedKeys(r.RPSPerUSD[setting]) {
+			fmt.Fprintf(&b, "    %-10s maxRPS %6.1f  TCO $%7.0f/mo  → %6.4f RPS/$\n",
+				arch, r.MaxRPS[setting][arch], r.TCOUSD[setting][arch], r.RPSPerUSD[setting][arch])
+		}
+	}
+	return b.String()
+}
+
+func costEfficiency() (Result, error) {
+	res := &CostEfficiencyResult{
+		id:        "fig14",
+		RPSPerUSD: map[string]map[string]float64{},
+		TCOUSD:    map[string]map[string]float64{},
+		MaxRPS:    map[string]map[string]float64{},
+	}
+	for _, setting := range cluster.Settings() {
+		res.RPSPerUSD[setting.Name] = map[string]float64{}
+		res.TCOUSD[setting.Name] = map[string]float64{}
+		res.MaxRPS[setting.Name] = map[string]float64{}
+		for _, arch := range Archs() {
+			m, err := maxRPS("ASR", arch, setting, 500, 0)
+			if err != nil {
+				return nil, err
+			}
+			// Average power at 50 % load drives the energy bill.
+			b, err := benchFor("ASR", arch, setting)
+			if err != nil {
+				return nil, err
+			}
+			half, err := b.ServeConstantLoad(0.5*m, probeDurationMS, probeSeed)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := cluster.Provision(cluster.Config{Arch: arch, Setting: setting, PowerCapW: 500})
+			if err != nil {
+				return nil, err
+			}
+			node := cluster.Build(sim.New(), plan)
+			tcoParams := metrics.DefaultTCO(node.CapexUSD(), 500, half.AvgPowerW)
+			ce, err := metrics.CostEfficiency(m, tcoParams)
+			if err != nil {
+				return nil, err
+			}
+			tco, err := tcoParams.MonthlyUSD()
+			if err != nil {
+				return nil, err
+			}
+			res.RPSPerUSD[setting.Name][arch.String()] = ce
+			res.TCOUSD[setting.Name][arch.String()] = tco
+			res.MaxRPS[setting.Name][arch.String()] = m
+		}
+	}
+	return res, nil
+}
+
+// ----------------------------------------------------------- accuracy
+
+// AccuracyResult is the Section VI-C model-validation claim: the
+// analytical models' latency predictions against the event-level device
+// simulator, per kernel and platform.
+type AccuracyResult struct {
+	id   string
+	Rows []AccuracyRow
+	// MeanAbsErr and MaxAbsErr summarize across rows.
+	MeanAbsErr, MaxAbsErr float64
+}
+
+// AccuracyRow is one (kernel, platform) comparison.
+type AccuracyRow struct {
+	App, Kernel string
+	Platform    string
+	ModelMS     float64
+	MeasuredMS  float64
+	AbsErr      float64
+}
+
+// ID implements Result.
+func (r *AccuracyResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *AccuracyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accuracy — analytical model vs device simulator (single kernel runs)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-4s %-16s %-4s model %8.2f ms  measured %8.2f ms  err %5.2f%%\n",
+			row.App, row.Kernel, row.Platform, row.ModelMS, row.MeasuredMS, 100*row.AbsErr)
+	}
+	fmt.Fprintf(&b, "  mean abs err %.2f%%, max %.2f%% (paper: within 6%%)\n",
+		100*r.MeanAbsErr, 100*r.MaxAbsErr)
+	return b.String()
+}
+
+// modelAccuracy executes each kernel's fastest implementation once on a
+// fresh board and compares the measured span with the model's prediction.
+func modelAccuracy() (Result, error) {
+	res := &AccuracyResult{id: "accuracy"}
+	for _, name := range apps.Names() {
+		fw, err := core.App(name)
+		if err != nil {
+			return nil, err
+		}
+		ks, err := fw.Explore(cluster.SettingI)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range fw.Program().Kernels() {
+			for _, class := range []device.Class{device.GPU, device.FPGA} {
+				im := ks.Space(k.Name, class).MinLatency()
+				s := sim.New()
+				var doneAt sim.Time
+				task := &device.Task{
+					Kernel: k.Name, ImplID: im.Kernel + "/probe",
+					LatencyMS: im.LatencyMS, IntervalMS: im.IntervalMS,
+					Batch: 1, PowerW: im.PowerW,
+					OnDone: func(at sim.Time) { doneAt = at },
+				}
+				var started sim.Time
+				if class == device.GPU {
+					device.NewGPU(s, "gpu0", cluster.SettingI.GPU).Submit(task)
+				} else {
+					f := device.NewFPGA(s, "fpga0", cluster.SettingI.FPGA)
+					f.Preload(task.ImplID) // exclude the one-time bitstream load
+					s.Run()
+					started = s.Now()
+					f.Submit(task)
+				}
+				s.Run()
+				measured := float64(doneAt - started)
+				err := math.Abs(measured-im.LatencyMS) / im.LatencyMS
+				res.Rows = append(res.Rows, AccuracyRow{
+					App: name, Kernel: k.Name, Platform: class.String(),
+					ModelMS: im.LatencyMS, MeasuredMS: measured, AbsErr: err,
+				})
+				res.MeanAbsErr += err
+				if err > res.MaxAbsErr {
+					res.MaxAbsErr = err
+				}
+			}
+		}
+	}
+	if len(res.Rows) > 0 {
+		res.MeanAbsErr /= float64(len(res.Rows))
+	}
+	return res, nil
+}

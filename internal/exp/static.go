@@ -1,0 +1,673 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"poly/internal/apps"
+	"poly/internal/cluster"
+	"poly/internal/core"
+	"poly/internal/device"
+	"poly/internal/metrics"
+	"poly/internal/runtime"
+	"poly/internal/sched"
+)
+
+// Experiment pacing: probe durations are long enough for stable p99s but
+// short enough that the full suite runs in minutes.
+const (
+	probeDurationMS = 12000
+	probeSeed       = 11
+	searchCapRPS    = 512
+)
+
+// appNames lists the six Table II benchmarks in order.
+func appNames() []string { return apps.Names() }
+
+// benchFor builds the serving harness for (app, arch) on a setting.
+func benchFor(app string, arch cluster.Architecture, setting cluster.Setting) (runtime.Bench, error) {
+	fw, err := core.App(app)
+	if err != nil {
+		return runtime.Bench{}, err
+	}
+	return fw.Bench(arch, setting)
+}
+
+// maxRPS caches per (app, arch, setting, cap, split) searches: several
+// figures need the same maxima.
+var maxRPSCache = map[string]float64{}
+
+func maxRPS(app string, arch cluster.Architecture, setting cluster.Setting, capW, gpuShare float64) (float64, error) {
+	key := fmt.Sprintf("%s|%v|%s|%v|%v", app, arch, setting.Name, capW, gpuShare)
+	if v, ok := maxRPSCache[key]; ok {
+		return v, nil
+	}
+	b, err := benchFor(app, arch, setting)
+	if err != nil {
+		return 0, err
+	}
+	b.PowerCapW = capW
+	b.GPUShare = gpuShare
+	v, err := b.MaxThroughputRPS(searchCapRPS, probeDurationMS, probeSeed)
+	if err != nil {
+		return 0, err
+	}
+	maxRPSCache[key] = v
+	return v, nil
+}
+
+// ---------------------------------------------------------------- fig1a
+
+// TailLatencyResult is Fig. 1(a)/Fig. 7 data: p99 vs offered load.
+type TailLatencyResult struct {
+	id     string
+	App    string
+	Curves []Series
+	// MaxRPS is the QoS-compliant maximum per architecture.
+	MaxRPS map[string]float64
+	Bound  float64
+}
+
+// ID implements Result.
+func (r *TailLatencyResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *TailLatencyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s tail latency vs offered load (bound %.0f ms)\n", r.id, r.App, r.Bound)
+	for _, s := range r.Curves {
+		fmt.Fprintf(&b, "  %-10s:", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, " %4.0frps→%5.0fms", s.X[i], s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	for _, k := range sortedKeys(r.MaxRPS) {
+		fmt.Fprintf(&b, "  max QoS throughput %-10s = %.1f RPS\n", k, r.MaxRPS[k])
+	}
+	return b.String()
+}
+
+// tailLatency sweeps offered load for one app on Setting-I.
+func tailLatency(id, app string) (*TailLatencyResult, error) {
+	res := &TailLatencyResult{id: id, App: app, MaxRPS: map[string]float64{}}
+	// Load grid: fractions of the Poly max, the paper's x-axis convention.
+	polyMax, err := maxRPS(app, cluster.HeterPoly, cluster.SettingI, 500, 0)
+	if err != nil {
+		return nil, err
+	}
+	fracs := []float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0, 1.15}
+	for _, arch := range Archs() {
+		b, err := benchFor(app, arch, cluster.SettingI)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: arch.String()}
+		for _, f := range fracs {
+			rps := f * polyMax
+			r, err := b.ServeConstantLoad(rps, probeDurationMS, probeSeed)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, rps)
+			s.Y = append(s.Y, r.P99MS)
+			res.Bound = b.Prog.LatencyBoundMS
+		}
+		res.Curves = append(res.Curves, s)
+		m, err := maxRPS(app, arch, cluster.SettingI, 500, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.MaxRPS[arch.String()] = m
+	}
+	return res, nil
+}
+
+// ------------------------------------------------------------ fig1b/9/10
+
+// PowerScalingResult holds power-vs-load curves and EP per architecture
+// (Fig. 1(b), Fig. 9, Fig. 10).
+type PowerScalingResult struct {
+	id     string
+	Apps   []string
+	Curves map[string][]Series // app → per-arch power curves (x = load frac)
+	EP     map[string]map[string]float64
+}
+
+// ID implements Result.
+func (r *PowerScalingResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *PowerScalingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — power scaling and energy proportionality\n", r.id)
+	for _, app := range r.Apps {
+		fmt.Fprintf(&b, "  %s:\n", app)
+		for _, s := range r.Curves[app] {
+			fmt.Fprintf(&b, "    %-10s:", s.Name)
+			for i := range s.X {
+				fmt.Fprintf(&b, " %3.0f%%→%4.0fW", 100*s.X[i], s.Y[i])
+			}
+			fmt.Fprintf(&b, "  EP=%.2f\n", r.EP[app][s.Name])
+		}
+	}
+	// Averages across apps (the +23 %/+17 % headline of Fig. 10).
+	avg := map[string]float64{}
+	for _, app := range r.Apps {
+		for arch, ep := range r.EP[app] {
+			avg[arch] += ep / float64(len(r.Apps))
+		}
+	}
+	for _, k := range sortedKeys(avg) {
+		fmt.Fprintf(&b, "  mean EP %-10s = %.3f\n", k, avg[k])
+	}
+	if p, g, f := avg["Heter-Poly"], avg["Homo-GPU"], avg["Homo-FPGA"]; g > 0 && f > 0 {
+		fmt.Fprintf(&b, "  Poly EP improvement: +%.0f%% vs Homo-GPU, +%.0f%% vs Homo-FPGA\n",
+			100*(p-g), 100*(p-f))
+	}
+	return b.String()
+}
+
+// MeanEP returns the cross-app average EP for an architecture.
+func (r *PowerScalingResult) MeanEP(arch string) float64 {
+	var s float64
+	for _, app := range r.Apps {
+		s += r.EP[app][arch]
+	}
+	return s / float64(len(r.Apps))
+}
+
+// powerScaling measures node power at 10–100 % of each architecture's own
+// maximum load and computes EP from the resulting curve.
+func powerScaling(id string, appNames []string) (*PowerScalingResult, error) {
+	res := &PowerScalingResult{
+		id:     id,
+		Apps:   appNames,
+		Curves: map[string][]Series{},
+		EP:     map[string]map[string]float64{},
+	}
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	for _, app := range appNames {
+		res.EP[app] = map[string]float64{}
+		for _, arch := range Archs() {
+			m, err := maxRPS(app, arch, cluster.SettingI, 500, 0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := benchFor(app, arch, cluster.SettingI)
+			if err != nil {
+				return nil, err
+			}
+			s := Series{Name: arch.String()}
+			for _, l := range loads {
+				r, err := b.ServeConstantLoad(l*m, probeDurationMS, probeSeed)
+				if err != nil {
+					return nil, err
+				}
+				s.X = append(s.X, l)
+				s.Y = append(s.Y, r.AvgPowerW)
+			}
+			ep, err := metrics.EnergyProportionality(metrics.PowerCurve{Loads: s.X, PowerW: s.Y})
+			if err != nil {
+				return nil, err
+			}
+			res.Curves[app] = append(res.Curves[app], s)
+			res.EP[app][arch.String()] = ep
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------- fig1c
+
+// ParetoResult is Fig. 1(c): the LSTM kernel's design space on both
+// platforms — latency vs energy efficiency frontier points.
+type ParetoResult struct {
+	id       string
+	Kernel   string
+	GPU, FPG []ParetoPoint
+}
+
+// ParetoPoint is one frontier design.
+type ParetoPoint struct {
+	LatencyMS  float64
+	EffRPSPerW float64
+	PowerW     float64
+	Config     string
+}
+
+// ID implements Result.
+func (r *ParetoResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *ParetoResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s Pareto frontiers (latency vs energy efficiency)\n", r.id, r.Kernel)
+	dump := func(name string, pts []ParetoPoint) {
+		fmt.Fprintf(&b, "  %s (%d points):\n", name, len(pts))
+		for _, p := range pts {
+			fmt.Fprintf(&b, "    lat=%7.1fms eff=%6.3frps/W P=%5.1fW  %s\n",
+				p.LatencyMS, p.EffRPSPerW, p.PowerW, p.Config)
+		}
+	}
+	dump("GPU", r.GPU)
+	dump("FPGA", r.FPG)
+	return b.String()
+}
+
+func lstmPareto() (Result, error) {
+	fw, err := core.App("ASR")
+	if err != nil {
+		return nil, err
+	}
+	ks, err := fw.Explore(cluster.SettingI)
+	if err != nil {
+		return nil, err
+	}
+	const kernel = "k1_lstm_fwd"
+	res := &ParetoResult{id: "fig1c", Kernel: kernel}
+	for _, im := range ks.GPU[kernel].Pareto {
+		res.GPU = append(res.GPU, ParetoPoint{im.LatencyMS, im.EfficiencyRPSPerW(), im.PowerW, im.Config.String()})
+	}
+	for _, im := range ks.FPGA[kernel].Pareto {
+		res.FPG = append(res.FPG, ParetoPoint{im.LatencyMS, im.EfficiencyRPSPerW(), im.PowerW, im.Config.String()})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------- fig1d
+
+// EfficiencyResult is Fig. 1(d): delivered energy efficiency (RPS/W) as
+// utilization varies — Poly adapts, the baselines are flat-footed.
+type EfficiencyResult struct {
+	id     string
+	Curves []Series // x = load fraction, y = RPS/W
+}
+
+// ID implements Result.
+func (r *EfficiencyResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *EfficiencyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — ASR delivered efficiency vs utilization\n", r.id)
+	for _, s := range r.Curves {
+		fmt.Fprintf(&b, "  %-10s:", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, " %3.0f%%→%5.3f", 100*s.X[i], s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func efficiencyVsUtilization() (Result, error) {
+	res := &EfficiencyResult{id: "fig1d"}
+	loads := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, arch := range Archs() {
+		m, err := maxRPS("ASR", arch, cluster.SettingI, 500, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := benchFor("ASR", arch, cluster.SettingI)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: arch.String()}
+		for _, l := range loads {
+			r, err := b.ServeConstantLoad(l*m, probeDurationMS, probeSeed)
+			if err != nil {
+				return nil, err
+			}
+			eff := 0.0
+			if r.AvgPowerW > 0 {
+				eff = r.ThroughputRPS / r.AvgPowerW
+			}
+			s.X = append(s.X, l)
+			s.Y = append(s.Y, eff)
+		}
+		res.Curves = append(res.Curves, s)
+	}
+	return res, nil
+}
+
+// --------------------------------------------------------------- fig1ef
+
+// BreakdownResult is Fig. 1(e,f): per-kernel latency and energy of the
+// most energy-efficient designs on each platform.
+type BreakdownResult struct {
+	id   string
+	Rows []BreakdownRow
+}
+
+// BreakdownRow is one kernel's numbers.
+type BreakdownRow struct {
+	Kernel                   string
+	GPULatencyMS, GPUEnerMJ  float64
+	FPGALatencyMS, FPGAEnrMJ float64
+}
+
+// ID implements Result.
+func (r *BreakdownResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *BreakdownResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — ASR per-kernel breakdown (most energy-efficient designs)\n", r.id)
+	fmt.Fprintf(&b, "  %-16s %12s %12s %12s %12s\n", "kernel", "GPU ms", "GPU mJ", "FPGA ms", "FPGA mJ")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %12.1f %12.0f %12.1f %12.0f\n",
+			row.Kernel, row.GPULatencyMS, row.GPUEnerMJ, row.FPGALatencyMS, row.FPGAEnrMJ)
+	}
+	return b.String()
+}
+
+func kernelBreakdown() (Result, error) {
+	fw, err := core.App("ASR")
+	if err != nil {
+		return nil, err
+	}
+	ks, err := fw.Explore(cluster.SettingI)
+	if err != nil {
+		return nil, err
+	}
+	res := &BreakdownResult{id: "fig1ef"}
+	for _, k := range fw.Program().Kernels() {
+		g := ks.GPU[k.Name].MaxEfficiency()
+		f := ks.FPGA[k.Name].MaxEfficiency()
+		res.Rows = append(res.Rows, BreakdownRow{
+			Kernel:       k.Name,
+			GPULatencyMS: g.LatencyMS, GPUEnerMJ: g.EnergyMJ,
+			FPGALatencyMS: f.LatencyMS, FPGAEnrMJ: f.EnergyMJ,
+		})
+	}
+	return res, nil
+}
+
+// --------------------------------------------------------------- table2
+
+// DesignSpaceResult is Table II: per-kernel design-space sizes.
+type DesignSpaceResult struct {
+	id   string
+	Rows []DesignSpaceRow
+}
+
+// DesignSpaceRow is one kernel's entry.
+type DesignSpaceRow struct {
+	App, Kernel string
+	Patterns    []string
+	GPUEnum     int
+	GPUFeasible int
+	GPUPareto   int
+	FPGAEnum    int
+	FPGAFeas    int
+	FPGAPareto  int
+}
+
+// ID implements Result.
+func (r *DesignSpaceResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *DesignSpaceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — per-kernel design spaces (enumerated/feasible/Pareto)\n", r.id)
+	fmt.Fprintf(&b, "  %-4s %-16s %-42s %15s %15s\n", "app", "kernel", "patterns", "GPU", "FPGA")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-4s %-16s %-42s %5d/%4d/%3d %5d/%4d/%3d\n",
+			row.App, row.Kernel, strings.Join(row.Patterns, ","),
+			row.GPUEnum, row.GPUFeasible, row.GPUPareto,
+			row.FPGAEnum, row.FPGAFeas, row.FPGAPareto)
+	}
+	return b.String()
+}
+
+func designSpaces() (Result, error) {
+	res := &DesignSpaceResult{id: "table2"}
+	for _, name := range apps.Names() {
+		fw, err := core.App(name)
+		if err != nil {
+			return nil, err
+		}
+		ks, err := fw.Explore(cluster.SettingI)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range fw.Program().Kernels() {
+			var pats []string
+			seen := map[string]bool{}
+			for _, in := range k.Patterns.Instances() {
+				if !seen[in.Kind.String()] {
+					seen[in.Kind.String()] = true
+					pats = append(pats, in.Kind.String())
+				}
+			}
+			g, f := ks.GPU[k.Name], ks.FPGA[k.Name]
+			res.Rows = append(res.Rows, DesignSpaceRow{
+				App: name, Kernel: k.Name, Patterns: pats,
+				GPUEnum: g.Enumerated, GPUFeasible: len(g.Feasible), GPUPareto: len(g.Pareto),
+				FPGAEnum: f.Enumerated, FPGAFeas: len(f.Feasible), FPGAPareto: len(f.Pareto),
+			})
+		}
+	}
+	return res, nil
+}
+
+// ----------------------------------------------------------------- fig8
+
+// ThroughputResult is Fig. 8: maximum QoS-compliant throughput per app
+// and architecture, plus the normalized summary.
+type ThroughputResult struct {
+	id string
+	// RPS[app][arch] is the absolute maximum.
+	RPS map[string]map[string]float64
+	// Normalized[app][arch] = RPS / max over archs for that app.
+	Normalized map[string]map[string]float64
+	// MeanNorm / GeoNorm summarize per architecture.
+	MeanNorm, GeoNorm map[string]float64
+}
+
+// ID implements Result.
+func (r *ThroughputResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *ThroughputResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — maximum QoS-compliant throughput (RPS, normalized %%)\n", r.id)
+	archNames := []string{"Homo-GPU", "Homo-FPGA", "Heter-Poly"}
+	fmt.Fprintf(&b, "  %-5s", "app")
+	for _, a := range archNames {
+		fmt.Fprintf(&b, " %18s", a)
+	}
+	b.WriteByte('\n')
+	for _, app := range sortedKeys(r.RPS) {
+		fmt.Fprintf(&b, "  %-5s", app)
+		for _, a := range archNames {
+			fmt.Fprintf(&b, " %8.1f (%4.0f%%)", r.RPS[app][a], 100*r.Normalized[app][a])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  %-5s", "avg")
+	for _, a := range archNames {
+		fmt.Fprintf(&b, " %8s (%4.0f%%)", "", 100*r.MeanNorm[a])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %-5s", "geo")
+	for _, a := range archNames {
+		fmt.Fprintf(&b, " %8s (%4.0f%%)", "", 100*r.GeoNorm[a])
+	}
+	b.WriteByte('\n')
+	if p, g, f := r.MeanNorm["Heter-Poly"], r.MeanNorm["Homo-GPU"], r.MeanNorm["Homo-FPGA"]; g > 0 && f > 0 {
+		fmt.Fprintf(&b, "  Poly throughput improvement: +%.0f%% vs Homo-GPU, +%.0f%% vs Homo-FPGA\n",
+			100*(p/g-1), 100*(p/f-1))
+	}
+	return b.String()
+}
+
+// Improvement returns Poly's mean normalized gain over an architecture.
+func (r *ThroughputResult) Improvement(over string) float64 {
+	if r.MeanNorm[over] == 0 {
+		return 0
+	}
+	return r.MeanNorm["Heter-Poly"]/r.MeanNorm[over] - 1
+}
+
+func maxThroughput() (Result, error) {
+	res := &ThroughputResult{
+		id:         "fig8",
+		RPS:        map[string]map[string]float64{},
+		Normalized: map[string]map[string]float64{},
+		MeanNorm:   map[string]float64{},
+		GeoNorm:    map[string]float64{},
+	}
+	perArchNorm := map[string][]float64{}
+	for _, app := range apps.Names() {
+		res.RPS[app] = map[string]float64{}
+		res.Normalized[app] = map[string]float64{}
+		best := 0.0
+		for _, arch := range Archs() {
+			v, err := maxRPS(app, arch, cluster.SettingI, 500, 0)
+			if err != nil {
+				return nil, err
+			}
+			res.RPS[app][arch.String()] = v
+			if v > best {
+				best = v
+			}
+		}
+		for _, arch := range Archs() {
+			n := 0.0
+			if best > 0 {
+				n = res.RPS[app][arch.String()] / best
+			}
+			res.Normalized[app][arch.String()] = n
+			perArchNorm[arch.String()] = append(perArchNorm[arch.String()], n)
+		}
+	}
+	for arch, ns := range perArchNorm {
+		var sum float64
+		for _, n := range ns {
+			sum += n
+		}
+		res.MeanNorm[arch] = sum / float64(len(ns))
+		res.GeoNorm[arch] = geomean(ns)
+	}
+	return res, nil
+}
+
+// ------------------------------------------------------------- fig6
+
+// ScheduleResult is the Fig. 6 narrative: the two-step schedule of ASR.
+type ScheduleResult struct {
+	id                       string
+	Step1, Final             []string
+	MakespanMS               float64
+	EnergyStep1, EnergyFinal float64
+	Swaps                    int
+}
+
+// ID implements Result.
+func (r *ScheduleResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *ScheduleResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — ASR two-step schedule on an idle Setting-I node\n", r.id)
+	fmt.Fprintf(&b, "  step 1 (latency opt, energy %.0f mJ):\n", r.EnergyStep1)
+	for _, l := range r.Step1 {
+		fmt.Fprintf(&b, "    %s\n", l)
+	}
+	fmt.Fprintf(&b, "  step 2 (energy opt, %d swap(s), energy %.0f mJ, makespan %.1f ms):\n",
+		r.Swaps, r.EnergyFinal, r.MakespanMS)
+	for _, l := range r.Final {
+		fmt.Fprintf(&b, "    %s\n", l)
+	}
+	return b.String()
+}
+
+func scheduleASR() (Result, error) {
+	fw, err := core.App("ASR")
+	if err != nil {
+		return nil, err
+	}
+	sc, err := fw.Scheduler(cluster.SettingI)
+	if err != nil {
+		return nil, err
+	}
+	sc.SetLoadHint(10)
+	devs := []sched.DeviceState{
+		{Name: "gpu0", Class: device.GPU, FreqScale: 1},
+	}
+	// Provisioned steady state: each FPGA board holds one kernel's
+	// preferred bitstream (the governor's background provisioning).
+	kernels := fw.Program().Kernels()
+	for i := 0; i < 5; i++ {
+		d := sched.DeviceState{
+			Name:       fmt.Sprintf("fpga%d", i),
+			Class:      device.FPGA,
+			ReconfigMS: cluster.SettingI.FPGA.ReconfigMS,
+			FreqScale:  1,
+		}
+		if i < len(kernels) {
+			if im := sc.PreferredFPGAImpl(kernels[i].Name); im != nil {
+				d.LoadedImpl = sched.ImplID(im)
+			}
+		}
+		devs = append(devs, d)
+	}
+	// Step 1 only: a zero-slack bound disables the energy step.
+	p1, err := sc.Schedule(devs, 1e-9)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := sc.Schedule(devs, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScheduleResult{
+		id:          "fig6",
+		MakespanMS:  p2.MakespanMS,
+		EnergyStep1: p1.EnergyMJ,
+		EnergyFinal: p2.EnergyMJ,
+		Swaps:       p2.EnergySwaps,
+	}
+	for _, a := range p1.Order() {
+		res.Step1 = append(res.Step1, fmt.Sprintf("%-14s → %-5s on %-6s [%6.1f, %6.1f] %5.1fW",
+			a.Kernel, a.Impl.Platform, a.Device, a.StartMS, a.EndMS, a.Impl.PowerW))
+	}
+	for _, a := range p2.Order() {
+		res.Final = append(res.Final, fmt.Sprintf("%-14s → %-5s on %-6s [%6.1f, %6.1f] %5.1fW",
+			a.Kernel, a.Impl.Platform, a.Device, a.StartMS, a.EndMS, a.Impl.PowerW))
+	}
+	return res, nil
+}
+
+// tailLatencyAll is Fig. 7: the per-app tail-latency sweeps.
+func tailLatencyAll() (Result, error) {
+	agg := &MultiResult{id: "fig7"}
+	for _, app := range apps.Names() {
+		r, err := tailLatency("fig7:"+app, app)
+		if err != nil {
+			return nil, err
+		}
+		agg.Parts = append(agg.Parts, r)
+	}
+	return agg, nil
+}
+
+// MultiResult aggregates sub-results (one per app).
+type MultiResult struct {
+	id    string
+	Parts []Result
+}
+
+// ID implements Result.
+func (r *MultiResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *MultiResult) Render() string {
+	var b strings.Builder
+	for _, p := range r.Parts {
+		b.WriteString(p.Render())
+	}
+	return b.String()
+}

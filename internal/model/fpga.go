@@ -1,0 +1,289 @@
+package model
+
+import (
+	"math"
+
+	"poly/internal/analysis"
+	"poly/internal/cdfg"
+	"poly/internal/device"
+	"poly/internal/opt"
+	"poly/internal/pattern"
+)
+
+// fpgaResources is the resource budget accounting of one configuration.
+type fpgaResources struct {
+	logicK  float64 // thousand cells
+	dsp     float64
+	bramMB  float64
+	maxFrac float64
+}
+
+// Per-operator resource costs for the FPGA datapath estimator, following
+// the linear resource models of FlexCL [48].
+const (
+	shellLogicK   = 60.0 // static shell: PCIe/DDR controllers
+	arithLogicK   = 0.12 // one ALU lane, thousand cells
+	specialLogicK = 0.9  // piecewise function unit
+	customLogicK  = 3.5  // opaque IP core instance
+	loadLogicK    = 0.06 // load/store unit
+	dspPerMul     = 1.0  // DSP slices per multiplying lane
+	dbufOverhead  = 2.0  // double buffering doubles stream storage
+)
+
+// bramConstShare caps how much BRAM may pin const (weight) data; the
+// rest of the capacity serves pipeline FIFOs and fused buffers.
+const bramConstShare = 0.75
+
+// constSplit divides a kernel's const data into the part pinned in BRAM
+// and the part streamed from DDR every invocation — outsized weight
+// matrices (e.g. a fully-connected classifier) do not fit on chip and
+// must stream, which is exactly why such kernels favour GPUs.
+func constSplit(ka *analysis.Kernel, spec device.FPGASpec) (residentB, streamedB int64) {
+	budget := int64(bramConstShare * spec.BRAMMB * 1e6)
+	if ka.ConstBytes <= budget {
+		return ka.ConstBytes, 0
+	}
+	return budget, ka.ConstBytes - budget
+}
+
+// EvaluateFPGA runs the FPGA analytical model for one kernel
+// configuration on one board.
+//
+// Timing follows the initiation-interval pipeline model of FlexCL: a
+// pattern with datapath depth D, E elements, L = unroll × CU lanes
+// (capped by BRAM ports and data parallelism) and initiation interval II
+// takes D + (E/L)·II cycles when pipelined (II = 1) and E/L·D cycles
+// otherwise. Const data is pinned in BRAM, so only per-request traffic
+// pays off-chip bandwidth. Power scales with resource utilization [51].
+func EvaluateFPGA(ka *analysis.Kernel, cfg opt.Config, spec device.FPGASpec) (*Impl, error) {
+	if spec.FreqMHz <= 0 || spec.LogicCells <= 0 {
+		return nil, &ErrInfeasible{Reason: "FPGA spec with non-positive capacity"}
+	}
+	res, err := fpgaResourceUsage(ka, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	clock := cfg.ClockScale
+	if clock <= 0 {
+		clock = 1
+	}
+	cyclesPerMS := spec.FreqMHz * 1e3 * clock
+	repeat := float64(ka.Repeat)
+	if repeat < 1 {
+		repeat = 1
+	}
+	portCap := float64(cfg.BRAMPorts)
+	if portCap < 1 {
+		portCap = 1
+	}
+
+	lanes := laneAllocation(ka, cfg)
+	var latencyMS, maxStageMS float64
+	for _, name := range ka.Order {
+		info := ka.Infos[name]
+		stageMS := fpgaPatternMS(info, cfg, lanes[name], portCap, cyclesPerMS)
+		latencyMS += stageMS
+		if stageMS > maxStageMS {
+			maxStageMS = stageMS
+		}
+	}
+
+	// Off-chip streaming: per-request data plus any const data that does
+	// not fit the BRAM budget (streamed weights).
+	_, reqB := trafficBytes(ka, cfg)
+	_, streamedB := constSplit(ka, spec)
+	eff := memEfficiency(ka, cfg)
+	memMS := float64(reqB+streamedB) / (spec.MemBWGBs * 1e6 * eff)
+	if cfg.DoubleBuf {
+		// Double buffering overlaps loads/stores with the datapath.
+		latencyMS = math.Max(latencyMS, memMS) + 0.1*math.Min(latencyMS, memMS)
+	} else {
+		latencyMS += memMS
+	}
+	latencyMS *= repeat
+	maxStageMS *= repeat
+
+	// Coarse pipes let consecutive requests overlap stage-wise, so the
+	// sustained interval shrinks to the slowest stage (plus streaming).
+	intervalMS := latencyMS
+	if cfg.Pipes || cfg.HWPipe {
+		intervalMS = math.Max(maxStageMS, memMS*repeat)
+		if intervalMS <= 0 {
+			intervalMS = latencyMS
+		}
+	}
+
+	// Dynamic power scales with resource toggle activity and
+	// superlinearly with the clock (voltage margin shrinks with f).
+	util := res.maxFrac
+	powerW := spec.IdlePowerW + (spec.PeakPowerW-spec.IdlePowerW)*(0.15+0.85*util)*math.Pow(clock, 2.5)
+
+	im := &Impl{
+		Kernel:        ka.Name,
+		Platform:      device.FPGA,
+		Board:         spec.Name,
+		Config:        cfg,
+		LatencyMS:     latencyMS,
+		IntervalMS:    intervalMS,
+		ThroughputRPS: 1000 / intervalMS,
+		PowerW:        powerW,
+		ResourceFrac:  util,
+	}
+	im.EnergyMJ = powerW * math.Max(latencyMS, intervalMS)
+	if intervalMS < latencyMS {
+		// Pipelined: steady-state energy per request is power × interval.
+		im.EnergyMJ = powerW * intervalMS
+	}
+	return im, nil
+}
+
+// fpgaPatternMS returns the per-invocation time of one pattern stage.
+//
+// A pipelined stage with L lanes, per-element initiation interval II
+// (the busiest function unit's busy time) and datapath depth D processes
+// E elements in D + (E/L)·II cycles. Without the pipeline pragma the
+// loads, compute, and stores of one element do not overlap, so each
+// element costs the full depth.
+func fpgaPatternMS(info *analysis.PatternInfo, cfg opt.Config, lanes, portCap, cyclesPerMS float64) float64 {
+	depth := float64(info.CDFG.DepthCycles())
+	elems := float64(info.Inst.Elems)
+	// BRAM partitioning feeds the lanes: each increment of the partition
+	// factor unlocks another group of independently addressable banks
+	// (dual-ported 36Kb blocks, ~32 usable lanes per factor step).
+	memLanes := portCap * 32
+	if lanes > memLanes {
+		lanes = memLanes
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	var cycles float64
+	if cfg.HWPipe {
+		ii := float64(info.CDFG.MaxNodeCycles())
+		cycles = depth + (elems/lanes-1)*ii
+	} else {
+		cycles = (elems / lanes) * depth
+	}
+	if cycles < depth {
+		cycles = depth
+	}
+	return cycles / cyclesPerMS
+}
+
+// laneAllocation splits the config's total spatial parallelism across the
+// kernel's stages in proportion to their operation counts — the way a
+// designer budgets area: the dominant matvec gets the wide datapath, the
+// small activation stage gets a single unit. Every stage gets at least
+// one lane and never more than its data parallelism.
+// fpgaMaxLanes caps the spatial parallelism one OpenCL kernel reaches in
+// practice: SDAccel/Intel-OpenCL era toolchains sustain on the order of a
+// hundred effective MAC lanes before routing and memory-port pressure
+// flatten returns, well short of the raw DSP count.
+const fpgaMaxLanes = 256
+
+func laneAllocation(ka *analysis.Kernel, cfg opt.Config) map[string]float64 {
+	total := float64(ka.TotalOps)
+	budget := float64(cfg.Lanes())
+	if budget > fpgaMaxLanes {
+		budget = fpgaMaxLanes
+	}
+	out := make(map[string]float64, len(ka.Order))
+	ports := float64(cfg.BRAMPorts)
+	if ports < 1 {
+		ports = 1
+	}
+	for _, name := range ka.Order {
+		info := ka.Infos[name]
+		var l float64
+		perElem := float64(info.Inst.TotalOps()) / float64(info.Inst.Elems)
+		if info.Inst.Kind.MemoryBound() {
+			// Gather/Scatter/Tiling/Pack are wide shallow movers: their
+			// width is set by the memory banking, not by ALU area, and
+			// their logic cost is negligible.
+			l = ports * 32
+		} else if perElem <= 4 {
+			// Shallow arithmetic (xor folds, scale/offset stages) is also
+			// nearly free to widen: banking, not area, limits it.
+			l = ports * 8
+		} else {
+			share := 1.0
+			if total > 0 {
+				share = float64(info.Inst.TotalOps()) / total
+			}
+			l = math.Round(budget * share)
+		}
+		if l < 1 {
+			l = 1
+		}
+		if dp := float64(info.DataParallelism); l > dp {
+			l = dp
+		}
+		out[name] = l
+	}
+	return out
+}
+
+// fpgaResourceUsage sizes the datapath and rejects configs that do not
+// fit the board.
+func fpgaResourceUsage(ka *analysis.Kernel, cfg opt.Config, spec device.FPGASpec) (fpgaResources, error) {
+	var res fpgaResources
+	res.logicK = shellLogicK
+	lanes := laneAllocation(ka, cfg)
+
+	for _, name := range ka.Order {
+		info := ka.Infos[name]
+		stageLanes := lanes[name]
+		for _, n := range info.CDFG.Nodes() {
+			switch n.Kind {
+			case cdfg.Arith:
+				res.logicK += arithLogicK * stageLanes
+				if n.Op == "mul" || n.Op == "mac" || n.Op == "conv" {
+					res.dsp += dspPerMul * stageLanes
+				}
+			case cdfg.Special:
+				res.logicK += specialLogicK * stageLanes
+				res.dsp += 2 * stageLanes
+			case cdfg.Custom:
+				res.logicK += customLogicK * stageLanes
+				res.dsp += 4 * stageLanes
+			case cdfg.Load, cdfg.Store:
+				res.logicK += loadLogicK * stageLanes
+			}
+		}
+		if info.Inst.Kind == pattern.Pipeline {
+			// Inter-stage FIFOs.
+			res.bramMB += float64(info.Inst.OutputBytes()) / 1e6
+		}
+	}
+
+	// BRAM: pinned const data (up to the const share; the remainder
+	// streams from DDR), fused intermediates, partition overhead, and
+	// double buffers.
+	residentB, _ := constSplit(ka, spec)
+	_, fusedBuf := cfg.FusedSaving(ka)
+	bram := float64(residentB+fusedBuf) / 1e6
+	if cfg.BRAMPorts > 1 {
+		// Cyclic partitioning fragments blocks slightly.
+		bram *= 1 + 0.02*float64(cfg.BRAMPorts-1)
+	}
+	if cfg.DoubleBuf {
+		bram += float64(ka.RequestBytes) / 1e6 * dbufOverhead
+	}
+	res.bramMB += bram
+
+	logicFrac := res.logicK / float64(spec.LogicCells)
+	dspFrac := res.dsp / float64(spec.DSPSlices)
+	bramFrac := res.bramMB / spec.BRAMMB
+	res.maxFrac = math.Max(logicFrac, math.Max(dspFrac, bramFrac))
+
+	switch {
+	case logicFrac > 1:
+		return res, &ErrInfeasible{Reason: "logic cells exceeded"}
+	case dspFrac > 1:
+		return res, &ErrInfeasible{Reason: "DSP slices exceeded"}
+	case bramFrac > 1:
+		return res, &ErrInfeasible{Reason: "BRAM capacity exceeded"}
+	}
+	return res, nil
+}

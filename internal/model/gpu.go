@@ -1,0 +1,112 @@
+package model
+
+import (
+	"math"
+
+	"poly/internal/analysis"
+	"poly/internal/device"
+	"poly/internal/opt"
+)
+
+// EvaluateGPU runs the GPU analytical model for one kernel configuration
+// on one board.
+//
+// The model computes, per batch of cfg.Batch requests:
+//
+//	compute time: Σ_patterns ops / (effective lanes × clock)
+//	memory time:  (const bytes + B × per-request bytes) / (BW × efficiency)
+//	latency:      launch + max(compute, memory) under software pipelining,
+//	              launch + compute + memory otherwise
+//
+// Const (weight) traffic is charged once per batch — the fundamental
+// reason batching raises GPU throughput on weight-bound kernels — while
+// per-request traffic and compute scale with B.
+func EvaluateGPU(ka *analysis.Kernel, cfg opt.Config, spec device.GPUSpec) (*Impl, error) {
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	if spec.Cores <= 0 || spec.FreqMHz <= 0 || spec.MemBWGBs <= 0 {
+		return nil, &ErrInfeasible{Reason: "GPU spec with non-positive capacity"}
+	}
+	b := float64(cfg.Batch)
+	occ := occupancy(cfg.WorkGroup)
+	coresEff := float64(spec.Cores) * occ
+	cyclesPerMS := spec.FreqMHz * 1e3
+	repeat := float64(ka.Repeat)
+	if repeat < 1 {
+		repeat = 1
+	}
+
+	// Compute time: each pattern's operator count over the lanes it can
+	// actually fill. Unrolling adds a mild ILP boost until the schedule
+	// saturates (registers/issue width), following [49]. Custom IP-style
+	// operators (PRNG bit mixing, Galois-field tables, coding contexts)
+	// are branch- and lookup-heavy: SIMD divergence and serialized
+	// table accesses cut the achieved throughput hard — the reason such
+	// kernels are "naturally amenable to a customized pipeline on FPGAs"
+	// (Section VI-B).
+	ilp := 1 + 0.15*math.Log2(math.Max(1, float64(cfg.Unroll)))
+	var computeMS float64
+	for _, name := range ka.Order {
+		info := ka.Infos[name]
+		ops := float64(info.Inst.TotalOps())
+		lanes := math.Min(float64(info.DataParallelism)*b, coresEff)
+		if lanes < 1 {
+			lanes = 1
+		}
+		eff := gpuSIMDEfficiency
+		if info.Inst.HasCustomFunc() {
+			eff *= gpuCustomPenalty
+		}
+		perLane := lanes * ilp * cyclesPerMS * eff
+		computeMS += b * ops * repeat / perLane
+	}
+
+	// Memory time: const traffic is batch-shared, request traffic is not.
+	constB, reqB := trafficBytes(ka, cfg)
+	eff := memEfficiency(ka, cfg)
+	bwPerMS := spec.MemBWGBs * 1e6 // bytes per ms
+	memMS := repeat * (float64(constB) + b*float64(reqB)) / (bwPerMS * eff)
+
+	// Dispatch overhead: one launch per invocation without the
+	// persistent-kernel structure [47], one per batch with it.
+	launches := repeat
+	if cfg.SWPipe {
+		launches = 1
+	}
+	overheadMS := launches*launchOverheadMS + b*gpuBatchMarshalMS
+
+	var batchMS float64
+	if cfg.SWPipe {
+		// Persistent kernels overlap compute with memory streams.
+		batchMS = overheadMS + math.Max(computeMS, memMS) + 0.1*math.Min(computeMS, memMS)
+	} else {
+		batchMS = overheadMS + computeMS + memMS
+	}
+
+	// Utilization for the power model: how full the SIMD array is, and
+	// how much of the time the memory system toggles.
+	var laneFill float64
+	for _, name := range ka.Order {
+		info := ka.Infos[name]
+		laneFill += clamp01(float64(info.DataParallelism) * b / coresEff)
+	}
+	laneFill /= float64(len(ka.Order))
+	memFrac := clamp01(memMS / batchMS)
+	util := clamp01(0.25 + 0.55*laneFill*occ + 0.2*memFrac)
+	powerW := spec.IdlePowerW + (spec.PeakPowerW-spec.IdlePowerW)*util
+
+	im := &Impl{
+		Kernel:        ka.Name,
+		Platform:      device.GPU,
+		Board:         spec.Name,
+		Config:        cfg,
+		LatencyMS:     batchMS,
+		IntervalMS:    batchMS,
+		ThroughputRPS: b / batchMS * 1000,
+		PowerW:        powerW,
+		ResourceFrac:  clamp01(laneFill * occ),
+	}
+	im.EnergyMJ = powerW * batchMS / b
+	return im, nil
+}

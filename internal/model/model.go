@@ -1,0 +1,179 @@
+// Package model implements the analytical performance and power models
+// Poly uses to navigate design-space exploration (Section IV-C).
+//
+// For GPUs the model follows the structure of Hong & Kim's integrated
+// power/performance model [49] and Harmonia [18]: occupancy-limited
+// compute throughput, bandwidth-limited memory throughput, their overlap
+// under persistent-kernel software pipelining, and utilization-scaled
+// power. For FPGAs it follows FlexCL [48, 50]: initiation-interval
+// pipeline timing, unroll/compute-unit spatial parallelism capped by BRAM
+// port partitioning, a shell+datapath resource model, and power roughly
+// proportional to resource utilization [51].
+//
+// The model's output for one (kernel, config, board) triple is an Impl:
+// the latency/throughput/power tuple the runtime scheduler trades between.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"poly/internal/analysis"
+	"poly/internal/device"
+	"poly/internal/opt"
+)
+
+// Impl is one evaluated kernel implementation: a point in the design
+// space. Impls are what the DSE Pareto-filters and what the runtime
+// scheduler assigns to devices (the k_i^r of Section V).
+type Impl struct {
+	// Kernel is the kernel name this implements.
+	Kernel string
+	// Platform is the accelerator class the config targets.
+	Platform device.Class
+	// Board is the spec name the evaluation assumed.
+	Board string
+	// Config is the directive assignment that produced this point.
+	Config opt.Config
+
+	// LatencyMS is the end-to-end single-request execution latency
+	// (for GPU batched configs: the full batch completes together, so
+	// every request in the batch observes this latency).
+	LatencyMS float64
+	// IntervalMS is the steady-state initiation interval between
+	// consecutive batches/requests — LatencyMS for unpipelined designs,
+	// smaller for pipelined FPGA datapaths.
+	IntervalMS float64
+	// ThroughputRPS is the board's sustained request rate for this impl.
+	ThroughputRPS float64
+	// PowerW is the board's active power while executing this impl.
+	PowerW float64
+	// EnergyMJ is the energy per request in millijoules.
+	EnergyMJ float64
+	// ResourceFrac is FPGA resource utilization (max over logic, DSP,
+	// BRAM) or GPU occupancy — used by the power model and by Table II
+	// style reporting.
+	ResourceFrac float64
+}
+
+// EfficiencyRPSPerW is throughput per watt, the energy-efficiency axis of
+// Fig. 1(c).
+func (im *Impl) EfficiencyRPSPerW() float64 {
+	if im.PowerW <= 0 {
+		return 0
+	}
+	return im.ThroughputRPS / im.PowerW
+}
+
+func (im *Impl) String() string {
+	return fmt.Sprintf("%s/%s[%s] lat=%.1fms rps=%.2f pow=%.1fW",
+		im.Kernel, im.Platform, im.Config, im.LatencyMS, im.ThroughputRPS, im.PowerW)
+}
+
+// ErrInfeasible is returned when a configuration does not fit the board.
+type ErrInfeasible struct {
+	Reason string
+}
+
+func (e *ErrInfeasible) Error() string { return "model: infeasible config: " + e.Reason }
+
+// Evaluate dispatches to the platform model. spec must be a
+// device.GPUSpec or device.FPGASpec matching the config's platform.
+func Evaluate(ka *analysis.Kernel, cfg opt.Config, spec any) (*Impl, error) {
+	switch s := spec.(type) {
+	case device.GPUSpec:
+		if cfg.Platform != device.GPU {
+			return nil, fmt.Errorf("model: FPGA config evaluated on GPU spec")
+		}
+		return EvaluateGPU(ka, cfg, s)
+	case device.FPGASpec:
+		if cfg.Platform != device.FPGA {
+			return nil, fmt.Errorf("model: GPU config evaluated on FPGA spec")
+		}
+		return EvaluateFPGA(ka, cfg, s)
+	}
+	return nil, fmt.Errorf("model: unknown spec type %T", spec)
+}
+
+// launchOverheadMS is the fixed host-side cost of one kernel dispatch.
+const launchOverheadMS = 0.02
+
+// gpuSIMDEfficiency is the fraction of peak scalar throughput real
+// kernels achieve on the SIMD array (divergence, bank conflicts, issue
+// stalls). Calibrated so kernel latencies land in the range of Fig. 1(f).
+const gpuSIMDEfficiency = 0.5
+
+// gpuCustomPenalty further derates GPU compute for patterns built on
+// custom/IP-core operators: divergent branching and serialized table
+// lookups defeat the SIMD front end.
+const gpuCustomPenalty = 0.2
+
+// gpuBatchMarshalMS is the per-request host-side marshalling cost of a
+// batched launch (argument setup, buffer packing).
+const gpuBatchMarshalMS = 0.25
+
+// clamp01 bounds x into [0,1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// occupancy maps a work-group size to achieved GPU occupancy. Small
+// groups under-fill the SIMD front end; very large ones hit register
+// pressure. The shape follows the occupancy tables of [49].
+func occupancy(wg int) float64 {
+	switch {
+	case wg <= 0:
+		return 0.5
+	case wg < 128:
+		return 0.55
+	case wg < 256:
+		return 0.8
+	case wg <= 512:
+		return 1.0
+	default:
+		return 0.85
+	}
+}
+
+// memEfficiency returns the fraction of peak bandwidth a kernel achieves,
+// given its access regularity and the config's memory directives.
+func memEfficiency(ka *analysis.Kernel, cfg opt.Config) float64 {
+	eff := 1.0
+	for _, name := range ka.Order {
+		if ka.Infos[name].Inst.Irregular {
+			// Data-dependent index streams: coalescing remaps them
+			// (Fig. 5(a) lines 2-3); without it, DRAM bursts shatter.
+			if cfg.Platform == device.GPU && !cfg.Coalesce {
+				eff = 0.35
+			} else if cfg.Platform == device.FPGA && !cfg.DoubleBuf {
+				eff = 0.5
+			} else {
+				eff = 0.85
+			}
+			break
+		}
+	}
+	if cfg.Platform == device.GPU && cfg.Scratchpad {
+		// Staging through __local memory captures short-distance reuse.
+		eff = math.Min(1, eff*1.25)
+	}
+	return eff
+}
+
+// trafficBytes returns the kernel's off-chip traffic per invocation split
+// into batch-invariant (const/weight) and per-request parts, after the
+// config's fusion mask removes intermediate round-trips.
+func trafficBytes(ka *analysis.Kernel, cfg opt.Config) (constB, reqB int64) {
+	saving, _ := cfg.FusedSaving(ka)
+	perReq := ka.GlobalBytes - ka.ConstBytes - saving
+	if perReq < ka.RequestBytes {
+		perReq = ka.RequestBytes // inputs and outputs can never be fused away
+	}
+	return ka.ConstBytes, perReq
+}

@@ -1,0 +1,381 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"poly/internal/analysis"
+	"poly/internal/device"
+	"poly/internal/opencl"
+	"poly/internal/opt"
+)
+
+// lstmSrc is a weight-bound LSTM-style kernel: a 1024×1024 matvec per
+// frame, 1500 frames per request.
+const lstmSrc = `
+program asr
+kernel lstm
+  repeat 1500
+  const w f32[1024x1024]
+  in x f32[1024]
+  map      m1(x w, func=mac ops=2048 elems=1024)
+  reduce   r1(m1, func=add assoc elems=1024)
+  map      m2(r1, func=sigmoid ops=4)
+  pipeline p1(m2, funcs=[mul:1 add:1 tanh:4])
+  out p1
+`
+
+const gatherSrc = `
+program p
+kernel g
+  in idx i32[65536]
+  in data f32[65536]
+  gather  gt(idx data, irregular elems=65536)
+  map     m(gt, func=add ops=1)
+  out m
+`
+
+func analyze(t *testing.T, src string) *analysis.Kernel {
+	t.Helper()
+	prog := opencl.MustParse(src)
+	ka, err := analysis.AnalyzeKernel(prog.Kernels()[0], analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ka
+}
+
+func gpuCfg(batch int) opt.Config {
+	return opt.Config{Platform: device.GPU, WorkGroup: 256, Unroll: 1, Batch: batch, SWPipe: true}
+}
+
+func fpgaCfg(unroll, cu, ports int) opt.Config {
+	return opt.Config{Platform: device.FPGA, WorkGroup: 256, Unroll: unroll,
+		ComputeUnits: cu, BRAMPorts: ports, HWPipe: true, Pipes: true, Batch: 1}
+}
+
+func TestGPUBatchingRaisesThroughputOnWeightBoundKernels(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	b1, err := EvaluateGPU(ka, gpuCfg(1), device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b16, err := EvaluateGPU(ka, gpuCfg(16), device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b16.ThroughputRPS < 3*b1.ThroughputRPS {
+		t.Fatalf("batching gain too small: b1=%.1f b16=%.1f RPS", b1.ThroughputRPS, b16.ThroughputRPS)
+	}
+	if b16.LatencyMS < b1.LatencyMS {
+		t.Fatalf("larger batch cannot be faster per batch: %.1f vs %.1f", b16.LatencyMS, b1.LatencyMS)
+	}
+	if b16.EnergyMJ >= b1.EnergyMJ {
+		t.Fatalf("batching must amortize energy: b1=%.1f b16=%.1f mJ", b1.EnergyMJ, b16.EnergyMJ)
+	}
+}
+
+func TestGPUCoalescingHelpsIrregularKernels(t *testing.T) {
+	ka := analyze(t, gatherSrc)
+	plain := opt.Config{Platform: device.GPU, WorkGroup: 256, Unroll: 1, Batch: 1}
+	coal := plain
+	coal.Coalesce = true
+	a, err := EvaluateGPU(ka, plain, device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateGPU(ka, coal, device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LatencyMS >= a.LatencyMS {
+		t.Fatalf("coalescing did not help: %.3f vs %.3f ms", b.LatencyMS, a.LatencyMS)
+	}
+}
+
+func TestGPUFusionReducesLatency(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	if len(ka.Fusible) == 0 {
+		t.Fatal("kernel must have fusible edges")
+	}
+	plain := gpuCfg(4)
+	fused := plain
+	fused.FuseMask = (1 << uint(len(ka.Fusible))) - 1
+	a, _ := EvaluateGPU(ka, plain, device.AMDW9100)
+	b, _ := EvaluateGPU(ka, fused, device.AMDW9100)
+	if b.LatencyMS > a.LatencyMS {
+		t.Fatalf("fusion increased latency: %.3f vs %.3f", b.LatencyMS, a.LatencyMS)
+	}
+}
+
+func TestFPGAUnrollScalesLatencyDown(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	small, err := EvaluateFPGA(ka, fpgaCfg(1, 1, 1), device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EvaluateFPGA(ka, fpgaCfg(64, 8, 16), device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.LatencyMS >= small.LatencyMS/10 {
+		t.Fatalf("unrolling gain too small: %.1f vs %.1f ms", big.LatencyMS, small.LatencyMS)
+	}
+	if big.PowerW <= small.PowerW {
+		t.Fatalf("wider datapath must draw more power: %.1f vs %.1f W", big.PowerW, small.PowerW)
+	}
+	if big.ResourceFrac <= small.ResourceFrac {
+		t.Fatalf("wider datapath must use more resources")
+	}
+}
+
+func TestFPGAPipelineBeatsUnpipelined(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	piped := fpgaCfg(16, 4, 16)
+	flat := piped
+	flat.HWPipe = false
+	flat.Pipes = false
+	a, err := EvaluateFPGA(ka, piped, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateFPGA(ka, flat, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LatencyMS >= b.LatencyMS {
+		t.Fatalf("pipelining did not help: %.1f vs %.1f ms", a.LatencyMS, b.LatencyMS)
+	}
+	// Pipes also shrink the initiation interval below latency.
+	if a.IntervalMS > a.LatencyMS {
+		t.Fatalf("interval %.1f > latency %.1f", a.IntervalMS, a.LatencyMS)
+	}
+}
+
+func TestFPGAOversizedWeightsStreamFromDDR(t *testing.T) {
+	// 64 MB of const data cannot pin in 6.5 MB of BRAM: the model must
+	// stream the overflow from DDR every invocation, making the kernel
+	// dramatically slower than an on-chip-resident equivalent — the
+	// mechanism that pushes big fully-connected layers onto GPUs.
+	bigSrc := `
+program p
+kernel k
+  repeat 10
+  const w f32[16777216]
+  in x f32[1024]
+  map m(x w, func=mac ops=2048 elems=16384)
+`
+	smallSrc := `
+program p
+kernel k
+  repeat 10
+  const w f32[262144]
+  in x f32[1024]
+  map m(x w, func=mac ops=2048 elems=16384)
+`
+	big := analyze(t, bigSrc)
+	small := analyze(t, smallSrc)
+	cfg := fpgaCfg(16, 4, 16)
+	bi, err := EvaluateFPGA(big, cfg, device.Xilinx7V3)
+	if err != nil {
+		t.Fatalf("streaming config must stay feasible: %v", err)
+	}
+	si, err := EvaluateFPGA(small, cfg, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.LatencyMS < 3*si.LatencyMS {
+		t.Fatalf("weight streaming too cheap: %.1f vs resident %.1f ms", bi.LatencyMS, si.LatencyMS)
+	}
+}
+
+func TestFPGAInfeasibleConfigsRejected(t *testing.T) {
+	// Exhausting logic is still a hard infeasibility: enormous lane
+	// counts on a small board must be rejected.
+	src := `
+program p
+kernel k
+  in x f32[1048576]
+  stencil s(x, func=conv ops=9 taps=25 elems=1048576)
+`
+	ka := analyze(t, src)
+	cfg := opt.Config{Platform: device.FPGA, WorkGroup: 256, Unroll: 64,
+		ComputeUnits: 8, BRAMPorts: 16, HWPipe: true, Batch: 1}
+	_, err := EvaluateFPGA(ka, cfg, device.FPGASpec{
+		Name: "tiny", FreqMHz: 100, LogicCells: 70, BRAMMB: 1, DSPSlices: 64, MemBWGBs: 2,
+		PeakPowerW: 10, IdlePowerW: 2,
+	})
+	if err == nil {
+		t.Fatal("512 lanes must not fit a 70K-cell board")
+	}
+	if _, ok := err.(*ErrInfeasible); !ok {
+		t.Fatalf("error type = %T, want *ErrInfeasible", err)
+	}
+}
+
+func TestFPGAEnergyBeatsGPUAtSingleRequest(t *testing.T) {
+	// The motivation study (Fig. 1c): at batch 1, FPGA implementations are
+	// far more energy-efficient; GPUs need batching to compete.
+	ka := analyze(t, lstmSrc)
+	g, err := EvaluateGPU(ka, gpuCfg(1), device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := EvaluateFPGA(ka, fpgaCfg(64, 8, 16), device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EnergyMJ >= g.EnergyMJ {
+		t.Fatalf("FPGA energy %.1f ≥ GPU energy %.1f at batch 1", f.EnergyMJ, g.EnergyMJ)
+	}
+}
+
+func TestEvaluateDispatch(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	if _, err := Evaluate(ka, gpuCfg(1), device.AMDW9100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(ka, fpgaCfg(4, 2, 4), device.Xilinx7V3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(ka, gpuCfg(1), device.Xilinx7V3); err == nil {
+		t.Fatal("GPU config on FPGA spec accepted")
+	}
+	if _, err := Evaluate(ka, fpgaCfg(1, 1, 1), device.AMDW9100); err == nil {
+		t.Fatal("FPGA config on GPU spec accepted")
+	}
+	if _, err := Evaluate(ka, gpuCfg(1), 42); err == nil {
+		t.Fatal("unknown spec type accepted")
+	}
+}
+
+func TestImplDerivedMetrics(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	im, err := EvaluateGPU(ka, gpuCfg(8), device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im.ThroughputRPS-8/im.LatencyMS*1000) > 1e-9 {
+		t.Fatalf("throughput inconsistent with latency: %+v", im)
+	}
+	wantEff := im.ThroughputRPS / im.PowerW
+	if math.Abs(im.EfficiencyRPSPerW()-wantEff) > 1e-12 {
+		t.Fatal("efficiency metric inconsistent")
+	}
+	if im.String() == "" {
+		t.Fatal("String must render")
+	}
+	var zero Impl
+	if zero.EfficiencyRPSPerW() != 0 {
+		t.Fatal("zero-power efficiency must be 0")
+	}
+}
+
+func TestPowerWithinDeviceEnvelope(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		im, err := EvaluateGPU(ka, gpuCfg(b), device.AMDW9100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if im.PowerW < device.AMDW9100.IdlePowerW || im.PowerW > device.AMDW9100.PeakPowerW {
+			t.Fatalf("GPU power %.1f outside [%v,%v]", im.PowerW, device.AMDW9100.IdlePowerW, device.AMDW9100.PeakPowerW)
+		}
+	}
+	for _, u := range []int{1, 4, 16, 64} {
+		im, err := EvaluateFPGA(ka, fpgaCfg(u, 2, 4), device.Xilinx7V3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if im.PowerW < device.Xilinx7V3.IdlePowerW || im.PowerW > device.Xilinx7V3.PeakPowerW {
+			t.Fatalf("FPGA power %.1f outside envelope", im.PowerW)
+		}
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	ka := analyze(t, lstmSrc)
+	if _, err := EvaluateGPU(ka, gpuCfg(1), device.GPUSpec{}); err == nil {
+		t.Fatal("zero GPU spec accepted")
+	}
+	if _, err := EvaluateFPGA(ka, fpgaCfg(1, 1, 1), device.FPGASpec{}); err == nil {
+		t.Fatal("zero FPGA spec accepted")
+	}
+}
+
+func TestPCIeTransferModel(t *testing.T) {
+	p := device.DefaultPCIe
+	zero := p.TransferMS(0)
+	if zero <= 0 {
+		t.Fatal("zero-byte transfer must still pay setup latency")
+	}
+	if p.TransferMS(-5) != zero {
+		t.Fatal("negative sizes clamp to zero bytes")
+	}
+	mb := p.TransferMS(1 << 20)
+	if mb <= zero {
+		t.Fatal("1 MiB must cost more than setup")
+	}
+	// 8 GB/s → 1 GiB ≈ 134 ms.
+	gb := p.TransferMS(1 << 30)
+	if gb < 100 || gb > 200 {
+		t.Fatalf("1 GiB transfer = %.1f ms, want ≈134", gb)
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	if device.GPU.String() != "GPU" || device.FPGA.String() != "FPGA" {
+		t.Fatal("class names wrong")
+	}
+	if device.Class(9).String() == "" {
+		t.Fatal("unknown class must format")
+	}
+}
+
+func TestOccupancyShape(t *testing.T) {
+	// Occupancy grows to a plateau at mid work-group sizes and dips for
+	// oversized groups (register pressure), per the tables of [49].
+	if occupancy(0) != 0.5 {
+		t.Fatal("degenerate work-group occupancy wrong")
+	}
+	if !(occupancy(64) < occupancy(128) && occupancy(128) < occupancy(256)) {
+		t.Fatal("occupancy must grow with work-group size below the plateau")
+	}
+	if occupancy(1024) >= occupancy(256) {
+		t.Fatal("oversized work-groups must lose occupancy")
+	}
+}
+
+func TestErrInfeasibleMessage(t *testing.T) {
+	e := &ErrInfeasible{Reason: "BRAM capacity exceeded"}
+	if !strings.Contains(e.Error(), "BRAM") {
+		t.Fatalf("error message lost the reason: %q", e.Error())
+	}
+}
+
+func TestFPGAClockScalingTradeoff(t *testing.T) {
+	// A half-clock design must be slower but cheaper per the f^2.5 rule —
+	// the interior energy optimum behind the Fig. 1(c) frontier.
+	ka := analyze(t, lstmSrc)
+	fast := fpgaCfg(16, 4, 16)
+	slow := fast
+	slow.ClockScale = 0.5
+	a, err := EvaluateFPGA(ka, fast, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateFPGA(ka, slow, device.Xilinx7V3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LatencyMS <= a.LatencyMS {
+		t.Fatal("half clock must be slower")
+	}
+	if b.PowerW >= a.PowerW {
+		t.Fatal("half clock must draw less power")
+	}
+	if b.PowerW > 0.6*a.PowerW {
+		t.Fatalf("f^2.5 scaling too weak: %.1f vs %.1f W", b.PowerW, a.PowerW)
+	}
+}

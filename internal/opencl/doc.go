@@ -1,0 +1,71 @@
+// Package opencl models the host-visible structure of an OpenCL
+// application the way Poly's offline analyzer consumes it: a program is a
+// DAG of kernels, each kernel is a DAG of annotated parallel patterns (a
+// PPG), and buffers describe the data the kernels exchange. Real Poly
+// parses OpenCL C through LLVM Clang and recognizes the function-level
+// pattern annotations of Table I; this package provides the equivalent
+// front end for the simulated substrate — a compact annotation language
+// (Parse) plus a programmatic builder, both producing the same IR.
+//
+// # Annotation-language reference
+//
+// A program is a line-oriented text document. `#` starts a comment;
+// blank lines are ignored. Statements:
+//
+//	program NAME                     — required, first statement
+//	latency_bound MS                 — QoS bound in milliseconds (default 200)
+//
+//	kernel NAME                      — opens a kernel block
+//	  repeat N                       — kernel body executions per request
+//	  in    NAME TYPE[DIMS]          — per-request input buffer
+//	  const NAME TYPE[DIMS]          — request-invariant data (weights);
+//	                                   fetched once per GPU batch, pinned
+//	                                   in FPGA BRAM (streamed if oversized)
+//	  KIND NAME(DEPS, ATTRS)         — a parallel-pattern instance
+//	  out NAME [NAME...]             — kernel outputs (default: PPG sinks)
+//
+//	edge FROM -> TO [bytes=N]        — kernel-level data dependency
+//	                                   (default volume: FROM's output bytes)
+//
+// TYPE is f32, f64, i32, or u8; DIMS is `d1` or `d1xd2[xd3...]`
+// (e.g. `f32[1024x768]`, `u8[64x64x3]`).
+//
+// KIND is one of the nine parallel patterns: map, reduce, scan, stencil,
+// pipeline, gather, scatter, tiling, pack.
+//
+// DEPS are space-separated names of kernel buffers (no PPG edge; a
+// global-memory read) or earlier pattern instances (a PPG edge carrying
+// the producer's output bytes).
+//
+// ATTRS are space-separated `key=value` pairs or bare flags:
+//
+//	func=NAME      operator mnemonic ("mac", "sigmoid", "rs_core", …)
+//	ops=N          scalar operations per output element (temporal work:
+//	               a 2048-long dot product is ops=2048 on one MAC unit)
+//	elems=N        output element count (default: first dependency's)
+//	elem=TYPE      element type override (sets the element byte size)
+//	funcs=[a:N b:M ...]   pipeline stage functions with per-stage ops
+//	taps=N         stencil neighbourhood size (len of Table I's `list`)
+//	size=[x y z]   tiling tile size
+//	count=[X Y Z]  tiling tile count
+//	assoc          the operator is associative (tree reduce/scan legal)
+//	custom         opaque IP-core/library operator: never restructured,
+//	               GPU-hostile (divergence), FPGA-friendly (pipelined core)
+//	irregular      data-dependent index stream (gather/scatter): defeats
+//	               coalescing until the optimizer applies it
+//
+// Example (an LSTM-style kernel):
+//
+//	program asr
+//	latency_bound 200
+//
+//	kernel lstm
+//	  repeat 1800
+//	  const w f32[1024x768]
+//	  in x f32[768]
+//	  tiling   t(x, size=[64 1 1] count=[12 1 1])
+//	  map      gates(t w, func=mac ops=1536 elems=1024)
+//	  reduce   acc(gates, func=add assoc elems=1024)
+//	  pipeline act(acc, funcs=[sigmoid:8 mul:1 tanh:8 mul:1])
+//	  out act
+package opencl

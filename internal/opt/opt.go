@@ -1,0 +1,307 @@
+// Package opt implements Poly's parallel pattern optimization
+// (Section IV-B): it turns a kernel analysis into the set of candidate
+// implementation configurations on each platform.
+//
+// Local optimization picks per-pattern directives out of Table I's
+// option suites — work-group size, loop unrolling, memory coalescing,
+// scratchpad use, and software pipelining on GPUs; loop unrolling, compute
+// units, BRAM-port partitioning, hardware pipelining, double buffering and
+// pipes on FPGAs. Global optimization layers cross-pattern decisions on
+// top: fusing adjacent patterns so intermediates stay on chip, which
+// resolves the pending scratchpad sizings local optimization could not
+// settle alone.
+//
+// The enumerated configurations are evaluated by internal/model and
+// Pareto-filtered by internal/dse.
+package opt
+
+import (
+	"fmt"
+
+	"poly/internal/analysis"
+	"poly/internal/device"
+	"poly/internal/pattern"
+)
+
+// Config is one candidate implementation of a kernel on one platform:
+// the complete directive assignment the HLS/OpenCL compiler would receive.
+type Config struct {
+	Platform device.Class
+
+	// WorkGroup is the OpenCL work-group size (both platforms; Table I
+	// lists it for Map, Stencil, and Tiling on GPU and FPGA alike).
+	WorkGroup int
+	// Unroll is the loop-unrolling factor.
+	Unroll int
+
+	// GPU-side directives.
+	Coalesce   bool // remap Gather/Scatter indices to be physically contiguous
+	Scratchpad bool // stage hot data in __local memory
+	RegReuse   bool // register-file reuse for Pipeline stages
+	SWPipe     bool // software pipelining / persistent-kernel structure
+	Batch      int  // requests fused into one launch (GPU only)
+
+	// FPGA-side directives.
+	ComputeUnits int  // replicated compute units
+	BRAMPorts    int  // BRAM partition factor (simultaneous ports)
+	HWPipe       bool // #pragma pipeline on the datapath
+	DoubleBuf    bool // double buffers on Gather/Scatter streams
+	Pipes        bool // coarse-grained FIFO pipes between patterns
+	// ClockScale derates the synthesized clock (1 = device nominal).
+	// Slower clocks cut dynamic power superlinearly (≈ f^2.5 with the
+	// voltage margin), giving the genuine energy-vs-latency trade-off of
+	// Fig. 1(c): the most energy-efficient design is NOT the fastest.
+	ClockScale float64
+
+	// FuseMask selects which fusion candidates from the kernel analysis
+	// are applied: bit i fuses analysis.Fusible[i]. Fusion is the global
+	// optimization of Section IV-B.
+	FuseMask uint64
+}
+
+// Lanes returns the spatial parallelism the config asks for: unroll
+// replicated across compute units (FPGA) or unroll within the work-group
+// schedule (GPU, where the work-group size sets occupancy separately).
+func (c Config) Lanes() int {
+	u := c.Unroll
+	if u < 1 {
+		u = 1
+	}
+	if c.Platform == device.FPGA {
+		cu := c.ComputeUnits
+		if cu < 1 {
+			cu = 1
+		}
+		return u * cu
+	}
+	return u
+}
+
+// FusedSaving returns the off-chip traffic (bytes) the config's fusion
+// mask eliminates, and the on-chip buffer bytes it requires.
+func (c Config) FusedSaving(ka *analysis.Kernel) (saving, buffers int64) {
+	for i, f := range ka.Fusible {
+		if i >= 64 {
+			break
+		}
+		if c.FuseMask&(1<<uint(i)) != 0 {
+			saving += f.Saving
+			buffers += f.BufferBytes
+		}
+	}
+	return saving, buffers
+}
+
+// EdgeFused reports whether the PPG edge from→to is fused under the mask.
+func (c Config) EdgeFused(ka *analysis.Kernel, from, to string) bool {
+	for i, f := range ka.Fusible {
+		if i >= 64 {
+			break
+		}
+		if f.From == from && f.To == to && c.FuseMask&(1<<uint(i)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the directive assignment compactly, e.g.
+// "GPU wg=256 u=4 b=8 coal scratch fuse=0x3".
+func (c Config) String() string {
+	s := fmt.Sprintf("%s wg=%d u=%d", c.Platform, c.WorkGroup, c.Unroll)
+	if c.Platform == device.GPU {
+		s += fmt.Sprintf(" b=%d", c.Batch)
+		if c.Coalesce {
+			s += " coal"
+		}
+		if c.Scratchpad {
+			s += " scratch"
+		}
+		if c.SWPipe {
+			s += " swpipe"
+		}
+		if c.RegReuse {
+			s += " reg"
+		}
+	} else {
+		s += fmt.Sprintf(" cu=%d ports=%d", c.ComputeUnits, c.BRAMPorts)
+		if c.ClockScale != 0 && c.ClockScale != 1 {
+			s += fmt.Sprintf(" clk=%.2g", c.ClockScale)
+		}
+		if c.HWPipe {
+			s += " hwpipe"
+		}
+		if c.DoubleBuf {
+			s += " dbuf"
+		}
+		if c.Pipes {
+			s += " pipes"
+		}
+	}
+	if c.FuseMask != 0 {
+		s += fmt.Sprintf(" fuse=%#x", c.FuseMask)
+	}
+	return s
+}
+
+// kernelTraits summarizes which directive families apply to a kernel,
+// derived from the patterns it contains (the "Optimization on Hardware
+// Platforms" columns of Table I).
+type kernelTraits struct {
+	hasMemMove  bool // Gather/Scatter/Pack present → coalescing, double buffers
+	hasDataPar  bool // Map/Reduce/Stencil/Scan present → unroll, CUs
+	hasPipeline bool // Pipeline present → sw/hw pipelining, pipes, register reuse
+	hasStencil  bool // Stencil present → scratchpad/double-buffer tiles
+	hasCustom   bool // opaque IP core present → restructuring suppressed
+	maxDP       int64
+}
+
+func traitsOf(ka *analysis.Kernel) kernelTraits {
+	var t kernelTraits
+	for _, name := range ka.Order {
+		info := ka.Infos[name]
+		switch info.Inst.Kind {
+		case pattern.Gather, pattern.Scatter, pattern.Pack:
+			t.hasMemMove = true
+		case pattern.Map, pattern.Reduce, pattern.Scan:
+			t.hasDataPar = true
+		case pattern.Pipeline:
+			t.hasPipeline = true
+		case pattern.Stencil:
+			t.hasDataPar = true
+			t.hasStencil = true
+		}
+		if info.Inst.HasCustomFunc() {
+			t.hasCustom = true
+		}
+		if info.DataParallelism > t.maxDP {
+			t.maxDP = info.DataParallelism
+		}
+	}
+	return t
+}
+
+// Space enumerates the candidate configurations of a kernel on one
+// platform. The space is the cross product of the applicable local
+// directives with the global fusion choices, matching the per-kernel
+// design-space sizes reported in Table II (16–256 points).
+func Space(ka *analysis.Kernel, platform device.Class) []Config {
+	t := traitsOf(ka)
+	var out []Config
+	if platform == device.GPU {
+		out = gpuSpace(t)
+	} else {
+		out = fpgaSpace(t)
+	}
+	// Global optimization: layer fusion masks over the local configs.
+	// Fusing is ordered by saving, so mask (1<<k)-1 fuses the k most
+	// valuable edges; exploring only these prefixes keeps the space
+	// polynomial while covering the useful frontier.
+	nf := len(ka.Fusible)
+	if nf > 4 {
+		nf = 4 // explore up to the four most valuable fusions
+	}
+	if nf == 0 {
+		return out
+	}
+	withFusion := make([]Config, 0, len(out)*(nf+1))
+	for _, c := range out {
+		for k := 0; k <= nf; k++ {
+			fc := c
+			fc.FuseMask = (1 << uint(k)) - 1
+			withFusion = append(withFusion, fc)
+		}
+	}
+	return withFusion
+}
+
+func gpuSpace(t kernelTraits) []Config {
+	workGroups := []int{64, 128, 256}
+	unrolls := []int{1, 2, 4}
+	batches := []int{1, 2, 4, 8}
+	if !t.hasDataPar {
+		unrolls = []int{1}
+	}
+	if t.hasCustom {
+		// IP-core kernels keep their internal structure; only placement
+		// and batching remain.
+		unrolls = []int{1}
+		workGroups = []int{256}
+	}
+	coalesceOpts := []bool{false}
+	if t.hasMemMove {
+		coalesceOpts = []bool{false, true}
+	}
+	scratchOpts := []bool{false}
+	if t.hasStencil || t.hasMemMove {
+		scratchOpts = []bool{false, true}
+	}
+	var out []Config
+	for _, wg := range workGroups {
+		for _, u := range unrolls {
+			for _, b := range batches {
+				for _, co := range coalesceOpts {
+					for _, sc := range scratchOpts {
+						out = append(out, Config{
+							Platform:   device.GPU,
+							WorkGroup:  wg,
+							Unroll:     u,
+							Batch:      b,
+							Coalesce:   co,
+							Scratchpad: sc,
+							SWPipe:     t.hasPipeline,
+							RegReuse:   t.hasPipeline,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func fpgaSpace(t kernelTraits) []Config {
+	unrolls := []int{1, 4, 16, 64}
+	cus := []int{1, 2, 4, 8}
+	ports := []int{1, 4, 16}
+	if !t.hasDataPar {
+		unrolls = []int{1, 4}
+	}
+	if t.hasCustom {
+		// IP cores cannot be internally restructured, but replicating
+		// them spatially is exactly how FPGAs scale custom datapaths.
+		unrolls = []int{1, 4, 16, 64}
+	}
+	pipeOpts := []bool{true, false}
+	dbufOpts := []bool{false}
+	if t.hasMemMove || t.hasStencil {
+		dbufOpts = []bool{false, true}
+	}
+	clocks := []float64{1.0, 0.7, 0.5}
+	var out []Config
+	for _, u := range unrolls {
+		for _, cu := range cus {
+			for _, p := range ports {
+				for _, hw := range pipeOpts {
+					for _, db := range dbufOpts {
+						for _, ck := range clocks {
+							out = append(out, Config{
+								Platform:     device.FPGA,
+								WorkGroup:    256,
+								Unroll:       u,
+								ComputeUnits: cu,
+								BRAMPorts:    p,
+								HWPipe:       hw,
+								DoubleBuf:    db,
+								Pipes:        t.hasPipeline,
+								Batch:        1,
+								ClockScale:   ck,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"poly/internal/analysis"
+	"poly/internal/device"
+	"poly/internal/opencl"
+)
+
+func analyzed(t *testing.T, src string) *analysis.Kernel {
+	t.Helper()
+	prog := opencl.MustParse(src)
+	ka, err := analysis.AnalyzeKernel(prog.Kernels()[0], analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ka
+}
+
+const mixedSrc = `
+program p
+kernel k
+  in x f32[4096]
+  gather  g(x, irregular)
+  map     m(g, func=mac ops=2)
+  reduce  r(m, func=add assoc elems=64)
+  pipeline pl(r, funcs=[mul:1 tanh:4])
+  out pl
+`
+
+func TestSpaceNonEmptyAndPlatformTagged(t *testing.T) {
+	ka := analyzed(t, mixedSrc)
+	for _, platform := range []device.Class{device.GPU, device.FPGA} {
+		cfgs := Space(ka, platform)
+		if len(cfgs) == 0 {
+			t.Fatalf("%v space empty", platform)
+		}
+		for _, c := range cfgs {
+			if c.Platform != platform {
+				t.Fatalf("config tagged %v in %v space", c.Platform, platform)
+			}
+			if c.Lanes() < 1 {
+				t.Fatalf("lanes < 1: %+v", c)
+			}
+		}
+	}
+}
+
+func TestSpaceSizesInPaperRange(t *testing.T) {
+	// Table II reports 16–256 designs per kernel; our enumerated spaces
+	// should be in that order of magnitude (before feasibility filtering).
+	ka := analyzed(t, mixedSrc)
+	for _, platform := range []device.Class{device.GPU, device.FPGA} {
+		n := len(Space(ka, platform))
+		if n < 16 || n > 4608 {
+			t.Fatalf("%v space size %d outside sane range", platform, n)
+		}
+	}
+}
+
+func TestGPUSpaceUsesBatchingFPGADoesNot(t *testing.T) {
+	ka := analyzed(t, mixedSrc)
+	maxBatch := 0
+	for _, c := range Space(ka, device.GPU) {
+		if c.Batch > maxBatch {
+			maxBatch = c.Batch
+		}
+	}
+	if maxBatch < 8 {
+		t.Fatalf("GPU space max batch = %d, want ≥8", maxBatch)
+	}
+	for _, c := range Space(ka, device.FPGA) {
+		if c.Batch > 1 {
+			t.Fatalf("FPGA config batches: %+v", c)
+		}
+	}
+}
+
+func TestMemMoveKernelsGetCoalescingAndDoubleBuffers(t *testing.T) {
+	ka := analyzed(t, mixedSrc)
+	var sawCoal, sawDbuf bool
+	for _, c := range Space(ka, device.GPU) {
+		if c.Coalesce {
+			sawCoal = true
+		}
+	}
+	for _, c := range Space(ka, device.FPGA) {
+		if c.DoubleBuf {
+			sawDbuf = true
+		}
+	}
+	if !sawCoal || !sawDbuf {
+		t.Fatalf("memory-move directives missing: coal=%v dbuf=%v", sawCoal, sawDbuf)
+	}
+	// A pure-map kernel must not waste space on coalescing variants.
+	pure := analyzed(t, "program p\nkernel k\nin x f32[64]\nmap m(x, func=f ops=1)\n")
+	for _, c := range Space(pure, device.GPU) {
+		if c.Coalesce || c.Scratchpad {
+			t.Fatalf("pure map got memory-move directives: %+v", c)
+		}
+	}
+}
+
+func TestCustomIPKernelRestrictsRestructuring(t *testing.T) {
+	src := `
+program p
+kernel k
+  in x u8[4096]
+  map m(x, func=rs_core ops=64 custom elem=u8)
+`
+	ka := analyzed(t, src)
+	for _, c := range Space(ka, device.GPU) {
+		if c.Unroll != 1 {
+			t.Fatalf("custom kernel unrolled on GPU: %+v", c)
+		}
+	}
+	// On FPGAs, custom IP cores still replicate spatially (unroll/CU are
+	// how a datapath scales), so the space must keep those knobs.
+	sawWide := false
+	for _, c := range Space(ka, device.FPGA) {
+		if c.Lanes() > 1 {
+			sawWide = true
+		}
+	}
+	if !sawWide {
+		t.Fatal("FPGA custom space lost spatial replication")
+	}
+}
+
+func TestFusionPrefixMasks(t *testing.T) {
+	ka := analyzed(t, mixedSrc)
+	if len(ka.Fusible) == 0 {
+		t.Fatal("test kernel should have fusible edges")
+	}
+	masks := map[uint64]bool{}
+	for _, c := range Space(ka, device.FPGA) {
+		masks[c.FuseMask] = true
+	}
+	if !masks[0] {
+		t.Fatal("unfused variant missing")
+	}
+	if !masks[1] {
+		t.Fatal("top-1 fusion variant missing")
+	}
+}
+
+func TestFusedSavingAndEdgeFused(t *testing.T) {
+	ka := analyzed(t, mixedSrc)
+	c := Config{Platform: device.FPGA, FuseMask: 1}
+	saving, buffers := c.FusedSaving(ka)
+	if saving != ka.Fusible[0].Saving || buffers != ka.Fusible[0].BufferBytes {
+		t.Fatalf("saving/buffers = %d/%d, want %d/%d", saving, buffers, ka.Fusible[0].Saving, ka.Fusible[0].BufferBytes)
+	}
+	if !c.EdgeFused(ka, ka.Fusible[0].From, ka.Fusible[0].To) {
+		t.Fatal("EdgeFused misses fused edge")
+	}
+	if c.EdgeFused(ka, "nope", "nada") {
+		t.Fatal("EdgeFused reports unknown edge as fused")
+	}
+	var zero Config
+	if s, b := zero.FusedSaving(ka); s != 0 || b != 0 {
+		t.Fatal("zero mask must save nothing")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	g := Config{Platform: device.GPU, WorkGroup: 256, Unroll: 4, Batch: 8, Coalesce: true, FuseMask: 3}
+	s := g.String()
+	for _, want := range []string{"GPU", "wg=256", "u=4", "b=8", "coal", "fuse=0x3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("GPU config string %q missing %q", s, want)
+		}
+	}
+	f := Config{Platform: device.FPGA, WorkGroup: 256, Unroll: 16, ComputeUnits: 4, BRAMPorts: 2, HWPipe: true}
+	s = f.String()
+	for _, want := range []string{"FPGA", "cu=4", "ports=2", "hwpipe"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("FPGA config string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLanes(t *testing.T) {
+	c := Config{Platform: device.FPGA, Unroll: 8, ComputeUnits: 4}
+	if c.Lanes() != 32 {
+		t.Fatalf("FPGA lanes = %d, want 32", c.Lanes())
+	}
+	g := Config{Platform: device.GPU, Unroll: 4}
+	if g.Lanes() != 4 {
+		t.Fatalf("GPU lanes = %d, want 4", g.Lanes())
+	}
+	var zero Config
+	if zero.Lanes() != 1 {
+		t.Fatalf("zero config lanes = %d, want 1", zero.Lanes())
+	}
+}
+
+func TestFPGAClockKnobInSpace(t *testing.T) {
+	ka := analyzed(t, mixedSrc)
+	clocks := map[float64]bool{}
+	for _, c := range Space(ka, device.FPGA) {
+		clocks[c.ClockScale] = true
+	}
+	for _, want := range []float64{1.0, 0.7, 0.5} {
+		if !clocks[want] {
+			t.Fatalf("clock scale %v missing from FPGA space", want)
+		}
+	}
+	c := Config{Platform: device.FPGA, WorkGroup: 256, Unroll: 4,
+		ComputeUnits: 2, BRAMPorts: 4, ClockScale: 0.5, HWPipe: true}
+	if !strings.Contains(c.String(), "clk=0.5") {
+		t.Fatalf("clock tag missing from %q", c.String())
+	}
+}

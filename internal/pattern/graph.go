@@ -1,0 +1,233 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a data dependency between two pattern instances in a PPG. Bytes
+// is the volume transferred from producer to consumer; the analysis layer
+// uses it to estimate communication intensity under different transfer
+// strategies (off-chip global memory vs on-chip scratchpad).
+type Edge struct {
+	From, To string
+	Bytes    int64
+}
+
+// Graph is a parallel pattern graph: a DAG of pattern instances with
+// data-dependency edges (Section III: "each node is a parallel pattern and
+// every edge represents the data dependency between the patterns").
+type Graph struct {
+	nodes map[string]*Instance
+	order []string // insertion order, for deterministic iteration
+	out   map[string][]Edge
+	in    map[string][]Edge
+}
+
+// NewGraph returns an empty PPG.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Instance),
+		out:   make(map[string][]Edge),
+		in:    make(map[string][]Edge),
+	}
+}
+
+// Add inserts a pattern instance. Duplicate names are rejected.
+func (g *Graph) Add(in *Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if _, dup := g.nodes[in.Name]; dup {
+		return fmt.Errorf("pattern: duplicate instance name %q", in.Name)
+	}
+	g.nodes[in.Name] = in
+	g.order = append(g.order, in.Name)
+	return nil
+}
+
+// Connect adds a data-dependency edge carrying the given byte volume.
+// Both endpoints must exist and self-edges are rejected.
+func (g *Graph) Connect(from, to string, bytes int64) error {
+	if from == to {
+		return fmt.Errorf("pattern: self edge on %q", from)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("pattern: edge source %q not in graph", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("pattern: edge target %q not in graph", to)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("pattern: negative edge volume %d on %s->%s", bytes, from, to)
+	}
+	e := Edge{From: from, To: to, Bytes: bytes}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	return nil
+}
+
+// Node returns the named instance, or nil.
+func (g *Graph) Node(name string) *Instance { return g.nodes[name] }
+
+// Len returns the number of pattern instances.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Names returns instance names in insertion order.
+func (g *Graph) Names() []string {
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Instances returns the instances in insertion order.
+func (g *Graph) Instances() []*Instance {
+	out := make([]*Instance, 0, len(g.order))
+	for _, n := range g.order {
+		out = append(out, g.nodes[n])
+	}
+	return out
+}
+
+// Succs returns the outgoing edges of a node.
+func (g *Graph) Succs(name string) []Edge { return g.out[name] }
+
+// Preds returns the incoming edges of a node.
+func (g *Graph) Preds(name string) []Edge { return g.in[name] }
+
+// Edges returns every edge, ordered by (source insertion order, then
+// target name) for determinism.
+func (g *Graph) Edges() []Edge {
+	var all []Edge
+	for _, n := range g.order {
+		es := append([]Edge(nil), g.out[n]...)
+		sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+		all = append(all, es...)
+	}
+	return all
+}
+
+// Sources returns nodes with no predecessors, in insertion order.
+func (g *Graph) Sources() []string {
+	var out []string
+	for _, n := range g.order {
+		if len(g.in[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes with no successors, in insertion order.
+func (g *Graph) Sinks() []string {
+	var out []string
+	for _, n := range g.order {
+		if len(g.out[n]) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TopoSort returns the instance names in a topological order, or an error
+// naming a node on a cycle. The sort is deterministic: among ready nodes,
+// insertion order wins (Kahn's algorithm over ordered lists).
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, n := range g.order {
+		indeg[n] = len(g.in[n])
+	}
+	var ready []string
+	for _, n := range g.order {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var out []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for _, e := range g.out[n] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		for _, n := range g.order {
+			if indeg[n] > 0 {
+				return nil, fmt.Errorf("pattern: cycle through %q", n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Validate checks the graph is a non-empty DAG.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("pattern: empty graph")
+	}
+	_, err := g.TopoSort()
+	return err
+}
+
+// TotalBytes returns the sum of all edge volumes — the kernel's internal
+// communication footprint if every intermediate goes through global memory.
+func (g *Graph) TotalBytes() int64 {
+	var total int64
+	for _, n := range g.order {
+		for _, e := range g.out[n] {
+			total += e.Bytes
+		}
+	}
+	return total
+}
+
+// CriticalPathOps returns the largest sum of per-instance TotalOps along
+// any source→sink path: a platform-independent lower bound on serial work.
+func (g *Graph) CriticalPathOps() int64 {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return 0
+	}
+	best := make(map[string]int64, len(topo))
+	var max int64
+	for i := len(topo) - 1; i >= 0; i-- {
+		n := topo[i]
+		var succBest int64
+		for _, e := range g.out[n] {
+			if best[e.To] > succBest {
+				succBest = best[e.To]
+			}
+		}
+		best[n] = g.nodes[n].TotalOps() + succBest
+		if best[n] > max {
+			max = best[n]
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the graph. Instances are copied by value,
+// so mutating the clone's instances leaves the original untouched.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for _, n := range g.order {
+		cp := *g.nodes[n]
+		cp.Funcs = append([]Func(nil), g.nodes[n].Funcs...)
+		if err := c.Add(&cp); err != nil {
+			panic("pattern: clone of valid graph failed: " + err.Error())
+		}
+	}
+	for _, n := range g.order {
+		for _, e := range g.out[n] {
+			if err := c.Connect(e.From, e.To, e.Bytes); err != nil {
+				panic("pattern: clone of valid graph failed: " + err.Error())
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,215 @@
+// Package pattern defines Poly's parallel-pattern vocabulary and the
+// parallel pattern graph (PPG).
+//
+// The paper (Section IV-A, Table I) abstracts OpenCL kernels as
+// compositions of nine patterns: Map, Reduce, Scan, Stencil, Pipeline,
+// Gather, Scatter, Tiling, and Pack. A kernel is a DAG of pattern
+// instances — the PPG — whose edges carry the data volumes exchanged
+// between patterns. The PPG is the unit the optimizer (internal/opt) and
+// the analytical models (internal/model) work on.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies one of the nine parallel patterns.
+type Kind int
+
+// The nine parallel patterns of Table I (plus Pack, which Table II uses
+// for layout-conversion stages).
+const (
+	Map Kind = iota
+	Reduce
+	Scan
+	Stencil
+	Pipeline
+	Gather
+	Scatter
+	Tiling
+	Pack
+	numKinds
+)
+
+var kindNames = [...]string{
+	Map:      "map",
+	Reduce:   "reduce",
+	Scan:     "scan",
+	Stencil:  "stencil",
+	Pipeline: "pipeline",
+	Gather:   "gather",
+	Scatter:  "scatter",
+	Tiling:   "tiling",
+	Pack:     "pack",
+}
+
+// String returns the lower-case pattern name used in annotations.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Valid reports whether k names one of the nine patterns.
+func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
+
+// ParseKind converts an annotation keyword to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if strings.EqualFold(s, name) {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("pattern: unknown pattern kind %q", s)
+}
+
+// Kinds returns all nine pattern kinds, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// DataParallel reports whether the pattern exposes element-wise data
+// parallelism (Section IV-A: Gather, Map, Reduce, Scatter estimate
+// data-parallelism from the buffer capacity; Stencil and Scan do too, with
+// neighbourhood/prefix constraints).
+func (k Kind) DataParallel() bool {
+	switch k {
+	case Map, Reduce, Scan, Stencil, Gather, Scatter, Tiling, Pack:
+		return true
+	}
+	return false
+}
+
+// MemoryBound reports whether the pattern is dominated by data movement
+// rather than arithmetic (Gather/Scatter/Pack move data; Tiling
+// re-shapes it).
+func (k Kind) MemoryBound() bool {
+	switch k {
+	case Gather, Scatter, Tiling, Pack:
+		return true
+	}
+	return false
+}
+
+// Func describes the operator function a pattern applies: either a simple
+// arithmetic combinator or a customized IP/library call (Section IV-A:
+// "operators could be as simple as multiplication, addition, and sigmoid
+// ... or highly customized and optimized libraries").
+type Func struct {
+	// Name identifies the operator (e.g. "mac", "sigmoid", "rs_encode").
+	Name string
+	// Ops is the number of scalar arithmetic operations per element.
+	Ops int
+	// Custom marks an opaque IP-core/library operator; custom operators
+	// are not fused or restructured, only placed.
+	Custom bool
+	// Associative marks combiners that admit tree-shaped Reduce/Scan.
+	Associative bool
+}
+
+// Instance is one pattern occurrence inside a kernel.
+type Instance struct {
+	// Name is the unique (within a kernel) instance name, e.g. "m1".
+	Name string
+	// Kind is the pattern kind.
+	Kind Kind
+	// Elems is the number of output data elements the pattern produces.
+	Elems int
+	// ElemBytes is the size of one element (4 for float32).
+	ElemBytes int
+	// Funcs are the operator functions. Map/Reduce/Scan/Stencil use one;
+	// Pipeline chains several; Gather/Scatter/Tiling/Pack may have none.
+	Funcs []Func
+	// StencilTaps is the neighbourhood size for Stencil (len(list) in the
+	// paper's Stencil(inputs, func, list) annotation).
+	StencilTaps int
+	// TileSize and TileCount describe Tiling's [x,y,z] and [X,Y,Z].
+	TileSize  [3]int
+	TileCount [3]int
+	// Irregular marks data-dependent index streams (Gather/Scatter with
+	// non-affine lists), which defeats coalescing until optimized.
+	Irregular bool
+}
+
+// TotalOps returns the scalar operation count for one execution of the
+// pattern over all elements.
+func (in *Instance) TotalOps() int64 {
+	var perElem int64
+	for _, f := range in.Funcs {
+		perElem += int64(f.Ops)
+	}
+	if perElem == 0 {
+		perElem = 1 // pure data movement still costs one access slot
+	}
+	n := int64(in.Elems)
+	if in.Kind == Stencil && in.StencilTaps > 1 {
+		perElem *= int64(in.StencilTaps)
+	}
+	return n * perElem
+}
+
+// OutputBytes returns the bytes the pattern writes.
+func (in *Instance) OutputBytes() int64 {
+	eb := in.ElemBytes
+	if eb == 0 {
+		eb = 4
+	}
+	return int64(in.Elems) * int64(eb)
+}
+
+// HasCustomFunc reports whether any operator is an opaque IP core.
+func (in *Instance) HasCustomFunc() bool {
+	for _, f := range in.Funcs {
+		if f.Custom {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Instance) String() string {
+	return fmt.Sprintf("%s:%s[%d]", in.Kind, in.Name, in.Elems)
+}
+
+// Validate checks structural invariants of a single instance.
+func (in *Instance) Validate() error {
+	if in.Name == "" {
+		return fmt.Errorf("pattern: instance has empty name")
+	}
+	if !in.Kind.Valid() {
+		return fmt.Errorf("pattern %s: invalid kind", in.Name)
+	}
+	if in.Elems <= 0 {
+		return fmt.Errorf("pattern %s: element count must be positive, got %d", in.Name, in.Elems)
+	}
+	if in.ElemBytes < 0 {
+		return fmt.Errorf("pattern %s: negative element size", in.Name)
+	}
+	switch in.Kind {
+	case Map, Reduce, Scan:
+		if len(in.Funcs) == 0 {
+			return fmt.Errorf("pattern %s: %s requires an operator function", in.Name, in.Kind)
+		}
+	case Pipeline:
+		if len(in.Funcs) < 2 {
+			return fmt.Errorf("pattern %s: pipeline requires at least two stage functions, got %d", in.Name, len(in.Funcs))
+		}
+	case Stencil:
+		if in.StencilTaps < 1 {
+			return fmt.Errorf("pattern %s: stencil requires a non-empty neighbour list", in.Name)
+		}
+	case Tiling:
+		for i := 0; i < 3; i++ {
+			if in.TileSize[i] < 0 || in.TileCount[i] < 0 {
+				return fmt.Errorf("pattern %s: negative tile geometry", in.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %v -> %v", k, got)
+		}
+	}
+}
+
+func TestParseKindCaseInsensitive(t *testing.T) {
+	k, err := ParseKind("MAP")
+	if err != nil || k != Map {
+		t.Fatalf("ParseKind(MAP) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("unknown"); err == nil {
+		t.Fatal("ParseKind must reject unknown names")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	if !Map.DataParallel() || Pipeline.DataParallel() {
+		t.Fatal("data-parallel classification wrong")
+	}
+	if !Gather.MemoryBound() || Map.MemoryBound() {
+		t.Fatal("memory-bound classification wrong")
+	}
+	if Kind(99).Valid() || Kind(-1).Valid() {
+		t.Fatal("out-of-range kinds must be invalid")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("invalid kind should format its number")
+	}
+}
+
+func mapInst(name string, elems int) *Instance {
+	return &Instance{
+		Name: name, Kind: Map, Elems: elems, ElemBytes: 4,
+		Funcs: []Func{{Name: "mac", Ops: 2}},
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instance
+		ok   bool
+	}{
+		{"valid map", *mapInst("m", 8), true},
+		{"empty name", Instance{Kind: Map, Elems: 1, Funcs: []Func{{Ops: 1}}}, false},
+		{"zero elems", Instance{Name: "x", Kind: Map, Elems: 0, Funcs: []Func{{Ops: 1}}}, false},
+		{"map without func", Instance{Name: "x", Kind: Map, Elems: 4}, false},
+		{"pipeline one stage", Instance{Name: "p", Kind: Pipeline, Elems: 4, Funcs: []Func{{Ops: 1}}}, false},
+		{"pipeline two stages", Instance{Name: "p", Kind: Pipeline, Elems: 4, Funcs: []Func{{Ops: 1}, {Ops: 1}}}, true},
+		{"stencil no taps", Instance{Name: "s", Kind: Stencil, Elems: 4, Funcs: []Func{{Ops: 1}}}, false},
+		{"stencil ok", Instance{Name: "s", Kind: Stencil, Elems: 4, StencilTaps: 9, Funcs: []Func{{Ops: 1}}}, true},
+		{"gather no func ok", Instance{Name: "g", Kind: Gather, Elems: 4}, true},
+		{"negative tile", Instance{Name: "t", Kind: Tiling, Elems: 4, TileSize: [3]int{-1, 0, 0}}, false},
+		{"invalid kind", Instance{Name: "x", Kind: Kind(42), Elems: 1}, false},
+		{"negative elem bytes", Instance{Name: "x", Kind: Gather, Elems: 1, ElemBytes: -2}, false},
+	}
+	for _, c := range cases {
+		err := c.in.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestInstanceTotalOps(t *testing.T) {
+	m := mapInst("m", 100) // 2 ops × 100 elems
+	if got := m.TotalOps(); got != 200 {
+		t.Fatalf("map ops = %d, want 200", got)
+	}
+	s := &Instance{Name: "s", Kind: Stencil, Elems: 10, StencilTaps: 9, Funcs: []Func{{Ops: 2}}}
+	if got := s.TotalOps(); got != 180 {
+		t.Fatalf("stencil ops = %d, want 180 (9 taps × 2 ops × 10)", got)
+	}
+	g := &Instance{Name: "g", Kind: Gather, Elems: 50}
+	if got := g.TotalOps(); got != 50 {
+		t.Fatalf("pure-movement ops = %d, want 50 (one slot per element)", got)
+	}
+}
+
+func TestInstanceOutputBytes(t *testing.T) {
+	in := &Instance{Name: "x", Kind: Gather, Elems: 10, ElemBytes: 8}
+	if in.OutputBytes() != 80 {
+		t.Fatalf("OutputBytes = %d", in.OutputBytes())
+	}
+	in.ElemBytes = 0 // default float32
+	if in.OutputBytes() != 40 {
+		t.Fatalf("default elem size OutputBytes = %d", in.OutputBytes())
+	}
+}
+
+func TestHasCustomFunc(t *testing.T) {
+	in := mapInst("m", 4)
+	if in.HasCustomFunc() {
+		t.Fatal("mac is not custom")
+	}
+	in.Funcs = append(in.Funcs, Func{Name: "rs_core", Custom: true})
+	if !in.HasCustomFunc() {
+		t.Fatal("custom func not detected")
+	}
+}
+
+// diamond builds a 4-node diamond PPG: a → b, a → c, b → d, c → d.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := g.Add(mapInst(n, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []struct{ f, to string }{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if err := g.Connect(e.f, e.to, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := diamond(t)
+	if g.Len() != 4 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("sinks = %v", got)
+	}
+	if len(g.Succs("a")) != 2 || len(g.Preds("d")) != 2 {
+		t.Fatal("edge adjacency wrong")
+	}
+	if g.TotalBytes() != 256 {
+		t.Fatalf("total bytes = %d", g.TotalBytes())
+	}
+	if len(g.Edges()) != 4 {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+	if g.Node("a") == nil || g.Node("zz") != nil {
+		t.Fatal("Node lookup wrong")
+	}
+}
+
+func TestGraphRejectsBadInput(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add(mapInst("a", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(mapInst("a", 4)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := g.Connect("a", "a", 1); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	if err := g.Connect("a", "missing", 1); err == nil {
+		t.Fatal("edge to missing node accepted")
+	}
+	if err := g.Connect("missing", "a", 1); err == nil {
+		t.Fatal("edge from missing node accepted")
+	}
+	if err := g.Add(mapInst("b", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("a", "b", -5); err == nil {
+		t.Fatal("negative volume accepted")
+	}
+	if err := g.Add(&Instance{Name: "bad", Kind: Map, Elems: 0}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestTopoSortOrder(t *testing.T) {
+	g := diamond(t)
+	topo, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range topo {
+		pos[n] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("topo order violates edge %s->%s: %v", e.From, e.To, topo)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []string{"a", "b"} {
+		if err := g.Add(mapInst(n, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("b", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate must reject cyclic graph")
+	}
+}
+
+func TestValidateEmptyGraph(t *testing.T) {
+	if err := NewGraph().Validate(); err == nil {
+		t.Fatal("empty graph must be invalid")
+	}
+}
+
+func TestCriticalPathOps(t *testing.T) {
+	g := diamond(t) // each node: 2 ops × 16 elems = 32; path a→b→d = 96
+	if got := g.CriticalPathOps(); got != 96 {
+		t.Fatalf("critical path ops = %d, want 96", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.Node("a").Elems = 999
+	c.Node("a").Funcs[0].Ops = 77
+	if g.Node("a").Elems == 999 || g.Node("a").Funcs[0].Ops == 77 {
+		t.Fatal("clone shares state with original")
+	}
+	if c.Len() != g.Len() || len(c.Edges()) != len(g.Edges()) {
+		t.Fatal("clone shape differs")
+	}
+}
+
+// Property: for random DAGs (edges only forward in insertion order), the
+// topo sort succeeds and respects every edge.
+func TestTopoSortPropertyRandomDAG(t *testing.T) {
+	f := func(adj [][2]uint8, n uint8) bool {
+		size := int(n%12) + 2
+		g := NewGraph()
+		names := make([]string, size)
+		for i := 0; i < size; i++ {
+			names[i] = string(rune('a' + i))
+			if err := g.Add(mapInst(names[i], 4)); err != nil {
+				return false
+			}
+		}
+		seen := map[[2]int]bool{}
+		for _, e := range adj {
+			u, v := int(e[0])%size, int(e[1])%size
+			if u >= v || seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			if err := g.Connect(names[u], names[v], 8); err != nil {
+				return false
+			}
+		}
+		topo, err := g.TopoSort()
+		if err != nil || len(topo) != size {
+			return false
+		}
+		pos := map[string]int{}
+		for i, nm := range topo {
+			pos[nm] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

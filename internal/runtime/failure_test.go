@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"testing"
+
+	"poly/internal/cluster"
+	"poly/internal/sim"
+)
+
+// Failure-injection coverage promised in DESIGN.md §7.
+
+// TestPowerCapTooSmall: a cap below any board's provisioning power fails
+// at provisioning, not at serving.
+func TestPowerCapTooSmall(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	b.PowerCapW = 10
+	if _, _, err := b.NewSession(Options{}); err == nil {
+		t.Fatal("10 W cap provisioned accelerators")
+	}
+}
+
+// TestBurstIntoColdNode: a burst that arrives before any bitstream is
+// resident must still complete every request (paying reconfigurations),
+// with zero plan errors.
+func TestBurstIntoColdNode(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	sv, _, err := b.NewSession(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		sv.Inject(sim.Time(i)) // 30 requests in 30 ms into a cold node
+	}
+	res := sv.Collect()
+	if res.Completed != 30 || res.PlanErrors != 0 {
+		t.Fatalf("cold burst mishandled: %+v", res)
+	}
+}
+
+// TestLoneFPGAReconfigurationChurn: a single-board FPGA node serving a
+// multi-kernel app must serialize through reconfigurations without
+// deadlock or lost requests.
+func TestLoneFPGAReconfigurationChurn(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HomoFPGA]
+	b.PowerCapW = 55 // exactly one 7V3
+	sv, node, err := b.NewSession(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(node.FPGAs) != 1 {
+		t.Fatalf("expected a single board, got %d", len(node.FPGAs))
+	}
+	w := NewWorkload(2)
+	w.InjectPoisson(sv, 1, 0, 10000)
+	res := sv.Collect()
+	if res.Completed != res.Arrivals || res.PlanErrors != 0 {
+		t.Fatalf("lone-board serving lost requests: %+v", res)
+	}
+	if res.Reconfigs == 0 {
+		t.Fatal("a 4-kernel DAG on one board must reconfigure")
+	}
+}
+
+// TestZeroLoadSession: collecting a session with no arrivals must not
+// hang or divide by zero.
+func TestZeroLoadSession(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	sv, _, err := b.NewSession(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sv.Collect()
+	if res.Completed != 0 || res.ThroughputRPS != 0 {
+		t.Fatalf("empty session result: %+v", res)
+	}
+}

@@ -1,0 +1,528 @@
+// Package runtime is Poly's serving loop: it connects a workload
+// generator, the runtime kernel scheduler, and a simulated heterogeneous
+// node (Fig. 2's system monitor → model → optimizer feedback cycle).
+//
+// Every arriving request is planned against the node's *current* device
+// states — queue depths, resident FPGA bitstreams, DVFS points — so the
+// allocation "is not fixed but determined by the Poly scheduler based on
+// the latency constraint and system states" (Section VI-B). A periodic
+// governor implements the power management the trace study describes:
+// boosting clocks under load spikes and dropping GPUs to low-power DVFS
+// states / loading low-power FPGA shells when the node idles.
+package runtime
+
+import (
+	"fmt"
+
+	"poly/internal/cluster"
+	"poly/internal/device"
+	"poly/internal/opencl"
+	"poly/internal/sched"
+	"poly/internal/sim"
+)
+
+// Planner plans one request over the node's devices. *sched.Scheduler
+// (Heter-Poly) and *sched.StaticPlanner (the Homo-* baselines) both
+// implement it.
+type Planner interface {
+	Schedule(devices []sched.DeviceState, boundMS float64) (*sched.Plan, error)
+}
+
+var (
+	_ Planner = (*sched.Scheduler)(nil)
+	_ Planner = (*sched.StaticPlanner)(nil)
+)
+
+// Options configures a server.
+type Options struct {
+	// BoundMS is the QoS tail-latency bound (program default if zero).
+	BoundMS float64
+	// GovernorPeriodMS is the monitor/optimizer cycle (500 ms if zero).
+	GovernorPeriodMS float64
+	// WarmupMS excludes an initial window from the latency statistics:
+	// first-touch FPGA reconfigurations and cold caches are deployment
+	// one-offs, not steady-state QoS. Energy/power accounting still
+	// covers the whole run.
+	WarmupMS float64
+	// Governor enables dynamic power management. The Homo-* baselines run
+	// with it off ("configured with static scheduling scheme", §VI-C).
+	Governor bool
+}
+
+// defaultRestoreSlack is the planning headroom the governor restores in
+// calm windows (mirrors the scheduler's default).
+const defaultRestoreSlack = 0.6
+
+// Server drives one application on one node.
+type Server struct {
+	sim     *sim.Simulator
+	node    *cluster.Node
+	prog    *opencl.Program
+	planner Planner
+	opts    Options
+
+	accels map[string]device.Accelerator
+
+	latencies  sim.Sample
+	windowLat  sim.Sample
+	lastWindow sim.Sample
+	powerTS    sim.TimeSeries
+	arrivals   int
+	completed  int
+	measured   int
+	violations int
+	planErrors int
+	inFlight   int
+
+	windowArrivals  int
+	calmWindows     int
+	lowPowerMode    bool
+	pendingArrivals int
+	gpuTasks        int
+	fpgaTasks       int
+	// intended records the bitstream each FPGA board is committed to by
+	// admitted (possibly not-yet-submitted) plans. Planning against the
+	// intended residency instead of the instantaneous one prevents two
+	// overlapping requests from claiming the same blank board for
+	// different kernels and ping-ponging reconfigurations forever.
+	intended map[string]string
+}
+
+// NewServer wires an application and planner onto a node.
+func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts Options) (*Server, error) {
+	if node == nil || prog == nil || planner == nil {
+		return nil, fmt.Errorf("runtime: nil node, program, or planner")
+	}
+	if opts.BoundMS <= 0 {
+		opts.BoundMS = prog.LatencyBoundMS
+	}
+	if opts.GovernorPeriodMS <= 0 {
+		opts.GovernorPeriodMS = 500
+	}
+	sv := &Server{
+		sim:      node.Sim,
+		node:     node,
+		prog:     prog,
+		planner:  planner,
+		opts:     opts,
+		accels:   make(map[string]device.Accelerator),
+		intended: make(map[string]string),
+	}
+	for _, a := range node.Accelerators() {
+		sv.accels[a.Name()] = a
+	}
+	if len(sv.accels) == 0 {
+		return nil, fmt.Errorf("runtime: node has no accelerators")
+	}
+	sv.powerTS.Add(sv.sim.Now(), node.PowerW())
+	if opts.Governor {
+		sv.sim.After(sim.Duration(opts.GovernorPeriodMS), sv.governorTick)
+	}
+	return sv, nil
+}
+
+// Bound returns the effective latency bound.
+func (sv *Server) Bound() float64 { return sv.opts.BoundMS }
+
+// deviceStates snapshots the node for the scheduler (Eq. 4 inputs).
+func (sv *Server) deviceStates() []sched.DeviceState {
+	now := sv.sim.Now()
+	var out []sched.DeviceState
+	for _, g := range sv.node.GPUs {
+		out = append(out, sched.DeviceState{
+			Name:      g.Name(),
+			Class:     device.GPU,
+			FreeAtMS:  float64(g.NextFreeAt() - now),
+			FreqScale: g.FreqScale(),
+		})
+	}
+	for _, f := range sv.node.FPGAs {
+		loaded := sv.intended[f.Name()]
+		if loaded == "" {
+			loaded = f.Loaded()
+		}
+		out = append(out, sched.DeviceState{
+			Name:       f.Name(),
+			Class:      device.FPGA,
+			FreeAtMS:   float64(f.NextFreeAt() - now),
+			LoadedImpl: loaded,
+			ReconfigMS: sv.node.Plan.Setting.FPGA.ReconfigMS,
+			FreqScale:  1,
+		})
+	}
+	return out
+}
+
+// Inject schedules one request arrival at the given absolute time.
+func (sv *Server) Inject(at sim.Time) {
+	sv.pendingArrivals++
+	sv.sim.At(at, sv.admit)
+}
+
+// request tracks one in-flight request's DAG progress.
+type request struct {
+	sv        *Server
+	arrivedAt sim.Time
+	plan      *sched.Plan
+	waiting   map[string]int // kernel → unfinished predecessor count
+	remaining int
+	// windowMS is the per-kernel batching budget: the plan's remaining
+	// latency slack split across its batched (GPU) stages, so waiting to
+	// fill batches can never by itself break the bound.
+	windowMS float64
+}
+
+// admit plans and launches a request at the current instant.
+func (sv *Server) admit() {
+	sv.pendingArrivals--
+	sv.arrivals++
+	sv.windowArrivals++
+	if sv.lowPowerMode {
+		// Wake on arrival: a request must not be served at the parked
+		// operating point until the next governor tick.
+		for _, g := range sv.node.GPUs {
+			g.SetDVFS(1)
+		}
+		sv.lowPowerMode = false
+	}
+	plan, err := sv.planner.Schedule(sv.deviceStates(), sv.opts.BoundMS)
+	if err != nil {
+		sv.planErrors++
+		return
+	}
+	sv.inFlight++
+	for _, a := range plan.Assignments {
+		if a.Impl.Platform == device.FPGA {
+			sv.intended[a.Device] = sched.ImplID(a.Impl)
+		}
+	}
+	r := &request{
+		sv:        sv,
+		arrivedAt: sv.sim.Now(),
+		plan:      plan,
+		waiting:   make(map[string]int),
+		remaining: len(plan.Assignments),
+	}
+	// Batches form from the queue: arrivals during a running launch
+	// coalesce into the next one, which self-balances with load. A fixed
+	// accumulation window is kept tiny — just enough to merge
+	// near-simultaneous arrivals without spending the latency budget.
+	r.windowMS = 2
+	for _, k := range sv.prog.Kernels() {
+		r.waiting[k.Name] = len(sv.prog.Preds(k.Name))
+	}
+	// Submit sources in declaration order for determinism.
+	for _, k := range sv.prog.Kernels() {
+		if r.waiting[k.Name] == 0 {
+			r.submit(k.Name)
+		}
+	}
+}
+
+// submit dispatches one kernel's task to its planned device.
+func (r *request) submit(kernel string) {
+	a := r.plan.Assignments[kernel]
+	accel := r.sv.accels[a.Device]
+	if accel == nil {
+		// The planner referenced an unknown device — drop the request
+		// rather than corrupt accounting.
+		r.sv.planErrors++
+		r.finishRequest(false)
+		return
+	}
+	if accel.Class() == device.GPU {
+		r.sv.gpuTasks++
+	} else {
+		r.sv.fpgaTasks++
+	}
+	task := &device.Task{
+		Kernel:     kernel,
+		ImplID:     sched.ImplID(a.Impl),
+		LatencyMS:  a.Impl.LatencyMS,
+		IntervalMS: a.Impl.IntervalMS,
+		Batch:      a.Impl.Config.Batch,
+		PowerW:     a.Impl.PowerW,
+		OnDone:     func(at sim.Time) { r.kernelDone(kernel, at) },
+	}
+	if task.Batch > 1 {
+		task.WindowMS = r.windowMS
+	}
+	accel.Submit(task)
+}
+
+// kernelDone propagates completion to the successors.
+func (r *request) kernelDone(kernel string, at sim.Time) {
+	sv := r.sv
+	for _, e := range sv.prog.Succs(kernel) {
+		succ := e.To
+		delay := sim.Duration(0)
+		if pa, ca := r.plan.Assignments[kernel], r.plan.Assignments[succ]; pa != nil && ca != nil && pa.Device != ca.Device {
+			delay = sim.Duration(sv.node.PCIe.TransferMS(e.Bytes))
+		}
+		succName := succ
+		sv.sim.After(delay, func() {
+			r.waiting[succName]--
+			if r.waiting[succName] == 0 {
+				r.submit(succName)
+			}
+		})
+	}
+	r.remaining--
+	if r.remaining == 0 {
+		r.finishRequest(true)
+	}
+}
+
+// finishRequest records latency and QoS accounting.
+func (r *request) finishRequest(ok bool) {
+	sv := r.sv
+	sv.inFlight--
+	if !ok {
+		return
+	}
+	sv.completed++
+	if float64(r.arrivedAt) < sv.opts.WarmupMS {
+		return // warmup request: excluded from the QoS statistics
+	}
+	lat := float64(sv.sim.Now() - r.arrivedAt)
+	sv.latencies.Add(lat)
+	sv.windowLat.Add(lat)
+	sv.measured++
+	if lat > sv.opts.BoundMS {
+		sv.violations++
+	}
+}
+
+// governorTick is the monitor→model→optimizer cycle: it samples power,
+// estimates the window load, and actuates DVFS / low-power shells.
+func (sv *Server) governorTick() {
+	if !sv.opts.Governor {
+		return // switched off mid-run: stop rescheduling
+	}
+	sv.powerTS.Add(sv.sim.Now(), sv.node.PowerW())
+
+	var queued int
+	for _, a := range sv.accels {
+		queued += a.QueueLen()
+	}
+	switch {
+	case queued == 0 && sv.inFlight == 0 && sv.windowArrivals == 0:
+		// Node idle: drop GPUs to the deepest DVFS state and park FPGAs
+		// in the low-power shell (§VI-C power-savings discussion).
+		for _, g := range sv.node.GPUs {
+			g.SetDVFS(2)
+		}
+		for _, f := range sv.node.FPGAs {
+			f.EnterLowPower()
+		}
+		sv.lowPowerMode = true
+	case queued > len(sv.accels) || sv.latencyPressure():
+		// Queues building or the tail approaching the bound: full boost,
+		// and tighten the scheduler's planning headroom (the optimizer
+		// "make[s] an adjustment using the latest feedback", §VI-C).
+		for _, g := range sv.node.GPUs {
+			g.SetDVFS(0)
+		}
+		if sc, ok := sv.planner.(*sched.Scheduler); ok {
+			sc.SetSlackFactor(0.4)
+			sc.SetThroughputMode(true)
+		}
+		sv.calmWindows = 0
+		sv.lowPowerMode = false
+	case sv.lowPowerMode:
+		// Load returned while parked: restore nominal operation.
+		for _, g := range sv.node.GPUs {
+			g.SetDVFS(0)
+		}
+		sv.lowPowerMode = false
+	default:
+		// After two consecutive calm windows, restore the default planning
+		// headroom and drop the GPUs to the mid DVFS point — the scheduler
+		// plans around the slower clock, and the saving is what separates
+		// Poly's power curve from the baselines' (Fig. 9). The hysteresis
+		// keeps bursts from oscillating the operating point.
+		sv.calmWindows++
+		if sv.calmWindows >= 2 {
+			for _, g := range sv.node.GPUs {
+				g.SetDVFS(1)
+			}
+			if sc, ok := sv.planner.(*sched.Scheduler); ok {
+				sc.SetSlackFactor(defaultRestoreSlack)
+				sc.SetThroughputMode(false)
+			}
+		}
+	}
+	if sc, ok := sv.planner.(*sched.Scheduler); ok {
+		// Feed the arrival-rate estimate into the scheduler's batch-fill
+		// prediction (the system-model part of Fig. 2's feedback loop).
+		sc.SetLoadHint(float64(sv.windowArrivals) / sv.opts.GovernorPeriodMS * 1000)
+	}
+	sv.windowArrivals = 0
+	sv.lastWindow = sv.windowLat
+	sv.windowLat = sim.Sample{}
+	sv.provisionBitstreams()
+	sv.sim.After(sim.Duration(sv.opts.GovernorPeriodMS), sv.governorTick)
+}
+
+// provisionBitstreams keeps every kernel's preferred FPGA implementation
+// resident on some board, flashing idle blank boards in the background.
+// A foreground reconfiguration costs 80 ms of a request's budget; a
+// background one costs nothing, so the governor pre-positions bitstreams
+// the way a datacenter operator pre-stages container images.
+func (sv *Server) provisionBitstreams() {
+	sc, ok := sv.planner.(*sched.Scheduler)
+	if !ok || len(sv.node.FPGAs) == 0 {
+		return
+	}
+	resident := map[string]bool{}
+	for _, f := range sv.node.FPGAs {
+		if f.Loaded() != "" {
+			resident[f.Loaded()] = true
+		}
+		if id := sv.intended[f.Name()]; id != "" {
+			resident[id] = true
+		}
+	}
+	// Which kernels have no board at all? Prefer flashing blanks; when no
+	// blanks remain, reclaim an idle board whose kernel is duplicated on
+	// other boards (rebalancing, not eviction of sole capacity).
+	kernelOf := func(id string) string {
+		if im := sc.ImplByID(id); im != nil {
+			return im.Kernel
+		}
+		return ""
+	}
+	boardKernels := map[string]int{}
+	for _, f := range sv.node.FPGAs {
+		id := sv.intended[f.Name()]
+		if id == "" {
+			id = f.Loaded()
+		}
+		if k := kernelOf(id); k != "" {
+			boardKernels[k]++
+		}
+	}
+	var missing []string
+	for _, k := range sv.prog.Kernels() {
+		im := sc.PreferredFPGAImpl(k.Name)
+		if im == nil {
+			continue
+		}
+		if id := sched.ImplID(im); !resident[id] && boardKernels[k.Name] == 0 {
+			missing = append(missing, id)
+		}
+	}
+	for _, f := range sv.node.FPGAs {
+		if len(missing) == 0 {
+			break
+		}
+		if f.Loaded() == "" && f.Idle() && sv.intended[f.Name()] == "" {
+			f.Preload(missing[0])
+			sv.intended[f.Name()] = missing[0]
+			missing = missing[1:]
+		}
+	}
+	for _, f := range sv.node.FPGAs {
+		if len(missing) == 0 {
+			break
+		}
+		cur := sv.intended[f.Name()]
+		if cur == "" {
+			cur = f.Loaded()
+		}
+		if k := kernelOf(cur); k != "" && boardKernels[k] > 1 && f.Idle() {
+			boardKernels[k]--
+			f.Preload(missing[0])
+			sv.intended[f.Name()] = missing[0]
+			missing = missing[1:]
+		}
+	}
+}
+
+// latencyPressure reports whether the previous monitoring window's tail
+// is close to the bound. Using a window, not the run-cumulative sample,
+// lets the governor relax again after a transient burst.
+func (sv *Server) latencyPressure() bool {
+	if sv.lastWindow.Count() < 10 {
+		return false
+	}
+	return sv.lastWindow.Percentile(95) > 0.85*sv.opts.BoundMS
+}
+
+// Result summarizes one serving run.
+type Result struct {
+	Arrivals, Completed int
+	// Measured counts post-warmup requests (the QoS population).
+	Measured     int
+	Violations   int
+	PlanErrors   int
+	P50MS, P99MS float64
+	MeanMS       float64
+	// EnergyMJ is the node's accelerator energy over the run.
+	EnergyMJ float64
+	// AvgPowerW is energy over wall-clock duration.
+	AvgPowerW float64
+	// DurationMS is the simulated span from start to drain.
+	DurationMS float64
+	// ThroughputRPS is completed requests per second of duration.
+	ThroughputRPS float64
+	// Power is the sampled node power series (governor cadence).
+	Power sim.TimeSeries
+	// GPUTasks/FPGATasks count kernel executions per accelerator family.
+	GPUTasks, FPGATasks int
+	// Reconfigs counts FPGA bitstream loads over the run.
+	Reconfigs int
+}
+
+// ViolationRatio is the fraction of measured requests over the bound.
+func (r Result) ViolationRatio() float64 {
+	if r.Measured == 0 {
+		return 0
+	}
+	return float64(r.Violations) / float64(r.Measured)
+}
+
+// Collect drains the simulator and summarizes the run. It must be called
+// once, after all arrivals are injected.
+func (sv *Server) Collect() Result {
+	start := sv.powerTS.Times[0]
+	// Drain: advance in governor-period steps until every injected
+	// request has been admitted and completed. (Run-to-empty would never
+	// terminate with the governor enabled — it reschedules itself
+	// forever.)
+	horizon := sv.sim.Now() + sim.Time(sv.opts.GovernorPeriodMS)
+	for sv.pendingArrivals > 0 || sv.inFlight > 0 {
+		sv.sim.RunUntil(horizon)
+		horizon += sim.Time(sv.opts.GovernorPeriodMS)
+	}
+	// One more horizon flushes trailing bookkeeping events (device power
+	// transitions). Never Run-to-empty: the governor reschedules itself
+	// forever.
+	sv.sim.RunUntil(horizon)
+	end := sv.sim.Now()
+	sv.powerTS.Add(end, sv.node.PowerW())
+
+	res := Result{
+		Arrivals:   sv.arrivals,
+		Completed:  sv.completed,
+		Measured:   sv.measured,
+		Violations: sv.violations,
+		GPUTasks:   sv.gpuTasks,
+		FPGATasks:  sv.fpgaTasks,
+		PlanErrors: sv.planErrors,
+		P50MS:      sv.latencies.Percentile(50),
+		P99MS:      sv.latencies.P99(),
+		MeanMS:     sv.latencies.Mean(),
+		EnergyMJ:   sv.node.EnergyMJ(),
+		DurationMS: float64(end - start),
+		Power:      sv.powerTS,
+	}
+	for _, f := range sv.node.FPGAs {
+		res.Reconfigs += f.Reconfigs()
+	}
+	if res.DurationMS > 0 {
+		res.AvgPowerW = res.EnergyMJ / res.DurationMS
+		res.ThroughputRPS = float64(res.Completed) / res.DurationMS * 1000
+	}
+	return res
+}

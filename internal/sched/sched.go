@@ -1,0 +1,793 @@
+// Package sched implements Poly's runtime kernel scheduler (Section V).
+//
+// Given an application's kernel DAG G = (K, E), the per-kernel design
+// spaces from DSE, and the node's current device states, the scheduler
+// plans one request in two steps:
+//
+//	Step 1 — latency optimization: kernels are ranked by the latency
+//	priority W_L (Eq. 2-3, a HEFT-style upward rank) and placed one by
+//	one on the (implementation, device) pair with the earliest finish
+//	time, using per-device earliest-start-time bookkeeping (Eq. 4).
+//
+//	Step 2 — energy optimization: the latency slack LB − L is spent by
+//	re-ranking kernels with the energy priority W_E (Eq. 5) and greedily
+//	swapping in more energy-efficient implementations (possibly on the
+//	other accelerator family) as long as the bound still holds.
+//
+// The package also provides the static baseline planner used by the
+// Homo-GPU/Homo-FPGA systems of Sirius [4]: a fixed hard mapping of all
+// kernels onto one accelerator family with a single implementation.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"poly/internal/device"
+	"poly/internal/dse"
+	"poly/internal/model"
+	"poly/internal/opencl"
+)
+
+// DeviceState is the scheduler's view of one accelerator at planning time.
+type DeviceState struct {
+	// Name identifies the board within the node.
+	Name string
+	// Class is GPU or FPGA.
+	Class device.Class
+	// FreeAtMS is when the board can start new work, relative to the
+	// planning instant (the T_queue(d_n) of Eq. 4).
+	FreeAtMS float64
+	// LoadedImpl is the FPGA's resident bitstream ID ("" if blank or GPU).
+	LoadedImpl string
+	// ReconfigMS is the FPGA reconfiguration penalty when LoadedImpl
+	// differs from the impl being placed (0 for GPUs).
+	ReconfigMS float64
+	// FreqScale scales execution time for the board's current DVFS point
+	// (1 for nominal; 0 is treated as 1).
+	FreqScale float64
+	// lastEndMS is planner-internal: the finish time of the last kernel
+	// this plan placed on the board. A different implementation cannot
+	// start before it (no cross-bitstream pipelining, no cross-kernel
+	// batching); the same implementation may share from FreeAtMS.
+	lastEndMS float64
+}
+
+// availableAt returns when a task of the given implementation could start
+// on the device, given what this plan already booked.
+func (d *DeviceState) availableAt(implID string) float64 {
+	if implID == d.LoadedImpl {
+		return d.FreeAtMS
+	}
+	if d.lastEndMS > d.FreeAtMS {
+		return d.lastEndMS
+	}
+	return d.FreeAtMS
+}
+
+func (d *DeviceState) freq() float64 {
+	if d.FreqScale <= 0 {
+		return 1
+	}
+	return d.FreqScale
+}
+
+// execMS returns the planning-time execution estimate of im on d,
+// including a reconfiguration penalty when the resident bitstream differs.
+func (d *DeviceState) execMS(im *model.Impl) float64 {
+	t := im.LatencyMS / d.freq()
+	if d.Class == device.FPGA && d.LoadedImpl != ImplID(im) {
+		t += d.ReconfigMS
+	}
+	return t
+}
+
+// commitMS returns the marginal device occupancy of one request under im:
+// latency/fill on a GPU (the launch is shared by the requests expected to
+// batch with it), reconfiguration plus one initiation interval on a
+// pipelined FPGA.
+func (d *DeviceState) commitMS(im *model.Impl, fill float64) float64 {
+	if d.Class == device.GPU {
+		if fill < 1 {
+			fill = 1
+		}
+		return im.LatencyMS / d.freq() / fill
+	}
+	lat := im.LatencyMS / d.freq()
+	ii := im.IntervalMS / d.freq()
+	if ii <= 0 || ii > lat {
+		ii = lat
+	}
+	if d.LoadedImpl != ImplID(im) {
+		ii += d.ReconfigMS
+	}
+	return ii
+}
+
+// ImplID is the canonical identity of an implementation, shared with the
+// device simulators (batching and reconfiguration key).
+func ImplID(im *model.Impl) string {
+	return fmt.Sprintf("%s|%s|%s", im.Kernel, im.Board, im.Config)
+}
+
+// Assignment is one kernel's placement in a plan.
+type Assignment struct {
+	Kernel  string
+	Impl    *model.Impl
+	Device  string
+	StartMS float64
+	EndMS   float64
+	// ExecMS is the pure execution span; EndMS − StartMS − ExecMS is the
+	// FPGA reconfiguration the placement paid, if any.
+	ExecMS float64
+	// CommitMS is the marginal device-time this request consumes: a
+	// batched GPU launch shares its latency across the batch, and a
+	// pipelined FPGA admits a new request every initiation interval, so
+	// queue bookkeeping advances by less than the request's own span.
+	CommitMS float64
+}
+
+// Plan is a complete placement of one request's kernel DAG.
+type Plan struct {
+	// Assignments maps kernel name → placement.
+	Assignments map[string]*Assignment
+	// MakespanMS is the planned end-to-end latency L.
+	MakespanMS float64
+	// EnergyMJ is Σ power × busy-time over the assignments.
+	EnergyMJ float64
+	// BoundMS is the latency bound LB the plan was built against.
+	BoundMS float64
+	// EnergySwaps counts Step-2 implementation replacements applied.
+	EnergySwaps int
+}
+
+// SlackMS returns LB − L (negative when the bound is missed).
+func (p *Plan) SlackMS() float64 { return p.BoundMS - p.MakespanMS }
+
+// Order returns the kernels sorted by planned start time.
+func (p *Plan) Order() []*Assignment {
+	out := make([]*Assignment, 0, len(p.Assignments))
+	for _, a := range p.Assignments {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartMS != out[j].StartMS {
+			return out[i].StartMS < out[j].StartMS
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	return out
+}
+
+// Scheduler plans requests of one program over a node's devices.
+type Scheduler struct {
+	prog   *opencl.Program
+	spaces *dse.KernelSpaces
+	pcie   device.PCIeSpec
+	// loadRPS is the monitor's recent arrival-rate estimate, used to
+	// predict how full GPU batches will run: at λ RPS a launch of
+	// latency T accumulates ≈ λ·T requests, so a batched variant's
+	// per-request cost is its batch latency divided by that fill.
+	loadRPS float64
+	// tpMode switches placement scoring to sustained-throughput terms
+	// (marginal occupancy weighted over single-request finish) and mutes
+	// the energy step — the "boost to higher performance mode" reaction
+	// of Section VI-C when load spikes.
+	tpMode bool
+	// slack is the fraction of the latency bound Step 2 may plan into.
+	// The paper "conservatively relax[es] the latency slack": planning a
+	// request to finish exactly at LB leaves no headroom for queueing
+	// jitter or model error, so energy swaps target slack × LB instead.
+	slack float64
+	// order caches the W_L-descending kernel order.
+	order []string
+	// wl caches the latency priorities.
+	wl map[string]float64
+	// implByID resolves implementation identities, used to recognize the
+	// bitstream already resident on an FPGA (stickiness).
+	implByID map[string]*model.Impl
+}
+
+// New builds a scheduler for a program and its explored design spaces.
+func New(prog *opencl.Program, spaces *dse.KernelSpaces) (*Scheduler, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	for _, k := range prog.Kernels() {
+		if spaces.Space(k.Name, device.GPU) == nil && spaces.Space(k.Name, device.FPGA) == nil {
+			return nil, fmt.Errorf("sched: kernel %q has no design space", k.Name)
+		}
+	}
+	s := &Scheduler{prog: prog, spaces: spaces, pcie: device.DefaultPCIe, slack: defaultSlackFactor,
+		implByID: make(map[string]*model.Impl)}
+	for _, k := range prog.Kernels() {
+		for _, class := range []device.Class{device.GPU, device.FPGA} {
+			if sp := spaces.Space(k.Name, class); sp != nil {
+				for _, im := range sp.Pareto {
+					s.implByID[ImplID(im)] = im
+				}
+			}
+		}
+	}
+	s.computePriorities()
+	return s, nil
+}
+
+// defaultSlackFactor leaves 30 % of the bound as queueing headroom.
+const defaultSlackFactor = 0.6
+
+// SetSlackFactor adjusts how much of the latency bound Step 2 may plan
+// into, clamped to [0.1, 1]. The runtime's monitor feedback tightens it
+// when observed tails approach the bound and restores it when load
+// subsides (Section VI-C's self-correction loop).
+func (s *Scheduler) SetSlackFactor(f float64) {
+	if f < 0.1 {
+		f = 0.1
+	}
+	if f > 1 {
+		f = 1
+	}
+	s.slack = f
+}
+
+// SlackFactor returns the current Step-2 planning headroom.
+func (s *Scheduler) SlackFactor() float64 { return s.slack }
+
+// SetThroughputMode toggles high-load placement scoring: under pressure
+// the scheduler values a device's marginal occupancy (batch/pipeline
+// sharing) three times as much as the individual request's finish time,
+// and stops spending slack on energy swaps.
+func (s *Scheduler) SetThroughputMode(on bool) { s.tpMode = on }
+
+// ThroughputMode reports the current mode.
+func (s *Scheduler) ThroughputMode() bool { return s.tpMode }
+
+// SetLoadHint feeds the monitor's arrival-rate estimate (requests per
+// second) into the scheduler's batch-fill predictions.
+func (s *Scheduler) SetLoadHint(rps float64) {
+	if rps < 0 {
+		rps = 0
+	}
+	s.loadRPS = rps
+}
+
+// batchCap returns the implementation's full batch capacity as a float.
+// Queue bookkeeping uses the optimistic full-batch marginal cost: under
+// the loads where queues matter, batches do fill.
+func batchCap(im *model.Impl) float64 {
+	if im.Config.Batch < 1 {
+		return 1
+	}
+	return float64(im.Config.Batch)
+}
+
+// expectedFill predicts how many requests share one launch of im: the
+// arrivals during one batch latency, at least 1, at most the batch cap.
+func (s *Scheduler) expectedFill(im *model.Impl) float64 {
+	b := im.Config.Batch
+	if b <= 1 {
+		return 1
+	}
+	fill := s.loadRPS * im.LatencyMS / 1000
+	if fill < 1 {
+		return 1
+	}
+	if fill > float64(b) {
+		return float64(b)
+	}
+	return fill
+}
+
+// perRequestEnergyMJ is the energy one request is charged under im: the
+// launch energy shared by the expected batch fill.
+func (s *Scheduler) perRequestEnergyMJ(im *model.Impl, execMS float64) float64 {
+	return im.PowerW * execMS / s.expectedFill(im)
+}
+
+// Program returns the scheduled program.
+func (s *Scheduler) Program() *opencl.Program { return s.prog }
+
+// LatencyPriority returns W_L(kernel) (Eq. 2), for inspection and tests.
+func (s *Scheduler) LatencyPriority(kernel string) float64 { return s.wl[kernel] }
+
+// minLatencyMS returns T_min(k_i) (Eq. 3): the minimum execution latency
+// across every implementation on every platform.
+func (s *Scheduler) minLatencyMS(kernel string) float64 {
+	best := math.Inf(1)
+	for _, class := range []device.Class{device.GPU, device.FPGA} {
+		sp := s.spaces.Space(kernel, class)
+		if sp == nil {
+			continue
+		}
+		if im := sp.MinLatency(); im != nil && im.LatencyMS < best {
+			best = im.LatencyMS
+		}
+	}
+	return best
+}
+
+// transferMS returns T(e_ij): the PCIe time for the edge's bytes.
+func (s *Scheduler) transferMS(e opencl.KernelEdge) float64 {
+	return s.pcie.TransferMS(e.Bytes)
+}
+
+// computePriorities fills wl (Eq. 2) bottom-up and sorts kernels in
+// descending priority; an upward rank guarantees predecessors come first.
+func (s *Scheduler) computePriorities() {
+	topo, err := s.prog.TopoSort()
+	if err != nil {
+		// New validated the program; a cycle here is a programming error.
+		panic("sched: validated program failed toposort: " + err.Error())
+	}
+	s.wl = make(map[string]float64, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		k := topo[i]
+		var succMax float64
+		for _, e := range s.prog.Succs(k) {
+			if v := s.transferMS(e) + s.wl[e.To]; v > succMax {
+				succMax = v
+			}
+		}
+		s.wl[k] = s.minLatencyMS(k) + succMax
+	}
+	s.order = append([]string(nil), topo...)
+	sort.SliceStable(s.order, func(i, j int) bool {
+		return s.wl[s.order[i]] > s.wl[s.order[j]]
+	})
+}
+
+// ImplByID resolves an implementation identity from this scheduler's
+// design spaces, or nil.
+func (s *Scheduler) ImplByID(id string) *model.Impl { return s.implByID[id] }
+
+// PreferredFPGAImpl returns the implementation the runtime should keep
+// resident for a kernel on otherwise-idle FPGAs: the most energy-
+// efficient frontier point. Background provisioning with it means a
+// request never pays a foreground reconfiguration for this kernel.
+func (s *Scheduler) PreferredFPGAImpl(kernel string) *model.Impl {
+	sp := s.spaces.Space(kernel, device.FPGA)
+	if sp == nil {
+		return nil
+	}
+	fast := sp.MinLatency()
+	if fast == nil {
+		return nil
+	}
+	// The most efficient design that stays within 1.4× of the fastest:
+	// residency locks the board to one bitstream, so a deeply-derated
+	// variant would cost QoS whenever load returns.
+	best := fast
+	for _, im := range sp.Pareto {
+		if im.LatencyMS <= 1.4*fast.LatencyMS &&
+			im.EfficiencyRPSPerW() > best.EfficiencyRPSPerW() {
+			best = im
+		}
+	}
+	return best
+}
+
+// resident returns the implementation loaded on an FPGA if it implements
+// the given kernel, else nil.
+func (s *Scheduler) resident(kernel string, d *DeviceState) *model.Impl {
+	if d.Class != device.FPGA || d.LoadedImpl == "" {
+		return nil
+	}
+	im := s.implByID[d.LoadedImpl]
+	if im == nil || im.Kernel != kernel {
+		return nil
+	}
+	return im
+}
+
+// candidates returns the Pareto implementations available for a kernel on
+// a device class.
+func (s *Scheduler) candidates(kernel string, class device.Class) []*model.Impl {
+	sp := s.spaces.Space(kernel, class)
+	if sp == nil {
+		return nil
+	}
+	return sp.Pareto
+}
+
+// Schedule runs both optimization steps for one request. devices is the
+// node's current state; boundMS is the application's latency bound LB
+// (≤0 uses the program's bound). The returned plan never violates a bound
+// that Step 1 alone could meet.
+func (s *Scheduler) Schedule(devices []DeviceState, boundMS float64) (*Plan, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("sched: no devices")
+	}
+	if boundMS <= 0 {
+		boundMS = s.prog.LatencyBoundMS
+	}
+	// Work on copies: planning must not mutate the caller's device view,
+	// and Step 2 replays placements from the same initial state.
+	base := append([]DeviceState(nil), devices...)
+	work := append([]DeviceState(nil), devices...)
+
+	// Step 1 — latency optimization.
+	choice := make(map[string]*Assignment, len(s.order))
+	for _, kernel := range s.order {
+		if err := s.placeEFT(kernel, work, choice); err != nil {
+			return nil, err
+		}
+	}
+	plan := s.finalize(choice, work, boundMS)
+
+	// Step 1.5 — latency repair: greedy per-kernel EFT can strand a DAG
+	// behind one backlogged board. When the planned makespan misses the
+	// bound, retry alternative (device, implementation) placements that
+	// shorten it — the optimizer "mak[ing] an adjustment using the latest
+	// feedback" when the plan is predicted to violate QoS.
+	s.repairLatency(plan, base)
+
+	// Step 2 — energy-efficiency optimization on the slack.
+	s.optimizeEnergy(plan, base)
+	return plan, nil
+}
+
+// repairLatency iteratively moves kernels to the placement that most
+// reduces the planned makespan while it exceeds the bound.
+func (s *Scheduler) repairLatency(p *Plan, base []DeviceState) {
+	for round := 0; round < 16 && p.MakespanMS > p.BoundMS; round++ {
+		var best *Plan
+		bestScore := math.Inf(1)
+		var bestKernel string
+		var bestCand swapCandidate
+		for _, kernel := range s.order {
+			a := p.Assignments[kernel]
+			if a == nil {
+				continue
+			}
+			for di := range base {
+				d := &base[di]
+				all := s.candidates(kernel, d.Class)
+				if len(all) == 0 {
+					continue
+				}
+				// Same candidate policy as placement: fastest variant,
+				// plus the batched throughput variant on GPUs (a repair
+				// under load must not flood the GPU with unbatchable
+				// single-request launches), and only the resident
+				// bitstream on FPGAs already serving this kernel.
+				cands := all[:1]
+				if d.Class == device.GPU {
+					if thr := s.spaces.Space(kernel, device.GPU).MaxThroughput(); thr != nil && thr != all[0] {
+						cands = []*model.Impl{all[0], thr}
+					}
+				}
+				if res := s.resident(kernel, d); res != nil {
+					cands = []*model.Impl{res}
+				} else if d.Class == device.FPGA && d.LoadedImpl != "" {
+					if other := s.implByID[d.LoadedImpl]; other != nil && other.Kernel != kernel {
+						continue // repair must not evict live bitstreams either
+					}
+				}
+				for _, im := range cands {
+					if im == a.Impl && d.Name == a.Device {
+						continue
+					}
+					trial := s.resimulate(p, base, kernel, swapCandidate{impl: im, device: d.Name})
+					if trial == nil {
+						continue
+					}
+					// Score repairs like placements: makespan plus the
+					// marginal occupancy the move leaves behind, so a
+					// batched variant is not beaten by a batch-1 variant
+					// that finishes 2 ms sooner but hogs the device.
+					score := trial.MakespanMS + d.commitMS(im, batchCap(im))
+					if best == nil || score < bestScore {
+						best = trial
+						bestScore = score
+						bestKernel, bestCand = kernel, swapCandidate{impl: im, device: d.Name}
+					}
+				}
+			}
+		}
+		if best == nil || best.MakespanMS >= p.MakespanMS {
+			return
+		}
+		_ = bestKernel
+		_ = bestCand
+		swaps := p.EnergySwaps
+		*p = *best
+		p.EnergySwaps = swaps
+	}
+}
+
+// placeEFT assigns one kernel to the (impl, device) pair with the best
+// finish-time score, respecting device queues and predecessors. The first
+// pass never evicts another kernel's live FPGA bitstream (evictions under
+// load cause reconfiguration storms); if no placement exists without an
+// eviction, a second pass allows it.
+func (s *Scheduler) placeEFT(kernel string, devices []DeviceState, choice map[string]*Assignment) error {
+	best := s.findPlacement(kernel, devices, choice, false)
+	if best == nil {
+		best = s.findPlacement(kernel, devices, choice, true)
+	}
+	if best == nil {
+		return fmt.Errorf("sched: kernel %q has no implementation on any available device", kernel)
+	}
+	choice[kernel] = best
+	s.commit(best, devices)
+	return nil
+}
+
+func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice map[string]*Assignment, allowEvict bool) *Assignment {
+	var best *Assignment
+	bestScore := math.Inf(1)
+	for di := range devices {
+		d := &devices[di]
+		impls := s.candidates(kernel, d.Class)
+		if len(impls) == 0 {
+			continue
+		}
+		// Step 1 considers the min-latency implementation per device (the
+		// paper picks "the kernel implementation with shorter latency on
+		// the corresponding accelerator"). GPUs also offer their
+		// max-throughput (batched) variant — batching is how a GPU keeps
+		// its queue short under load. On an FPGA whose resident bitstream
+		// already implements this kernel, the resident implementation is
+		// used as-is: replacing a working bitstream with a marginally
+		// different one would pay an 80 ms reconfiguration every time two
+		// variants alternate.
+		cands := impls[:1]
+		if d.Class == device.GPU {
+			if thr := s.spaces.Space(kernel, device.GPU).MaxThroughput(); thr != nil && thr != impls[0] {
+				cands = []*model.Impl{impls[0], thr}
+			}
+		}
+		if res := s.resident(kernel, d); res != nil {
+			cands = []*model.Impl{res}
+		} else if d.Class == device.FPGA && !allowEvict && d.LoadedImpl != "" {
+			if other := s.implByID[d.LoadedImpl]; other != nil && other.Kernel != kernel {
+				continue // never evict a live bitstream in the first pass
+			}
+		}
+		ready := s.estMS(kernel, d, choice)
+		for _, im := range cands {
+			est := ready
+			if avail := d.availableAt(ImplID(im)); avail > est {
+				est = avail
+			}
+			end := est + d.execMS(im)
+			// Score = completion + marginal occupancy: between two
+			// placements finishing alike, prefer the one that leaves the
+			// device freer (batched/pipelined variants). Eviction adds
+			// the displaced kernel's future reconfiguration.
+			commitWeight := 1.0
+			if s.tpMode {
+				commitWeight = 2
+			}
+			score := end + commitWeight*d.commitMS(im, batchCap(im))
+			if d.Class == device.FPGA && d.LoadedImpl != "" {
+				if other := s.implByID[d.LoadedImpl]; other != nil && other.Kernel != kernel {
+					score += d.ReconfigMS
+				}
+			}
+			if best == nil || score < bestScore {
+				best = &Assignment{Kernel: kernel, Impl: im, Device: d.Name,
+					StartMS: est, EndMS: end, ExecMS: im.LatencyMS / d.freq(),
+					CommitMS: d.commitMS(im, batchCap(im))}
+				bestScore = score
+			}
+		}
+	}
+	return best
+}
+
+// estMS computes the predecessor-readiness part of EST(k_i, d_n)
+// (Eq. 4): finish times plus PCIe transfers when crossing boards. The
+// device-queue part is implementation-specific (availableAt).
+func (s *Scheduler) estMS(kernel string, d *DeviceState, choice map[string]*Assignment) float64 {
+	est := 0.0
+	for _, e := range s.prog.Preds(kernel) {
+		pa, ok := choice[e.From]
+		if !ok {
+			continue // unplaced predecessor: upward rank order prevents this
+		}
+		ready := pa.EndMS
+		if pa.Device != d.Name {
+			ready += s.transferMS(e)
+		}
+		if ready > est {
+			est = ready
+		}
+	}
+	return est
+}
+
+// commit books the assignment on its device, advancing the queue estimate
+// by the request's marginal occupancy.
+func (s *Scheduler) commit(a *Assignment, devices []DeviceState) {
+	for di := range devices {
+		d := &devices[di]
+		if d.Name != a.Device {
+			continue
+		}
+		free := a.StartMS + a.CommitMS
+		if free > d.FreeAtMS {
+			d.FreeAtMS = free
+		}
+		if a.EndMS > d.lastEndMS {
+			d.lastEndMS = a.EndMS
+		}
+		d.LoadedImpl = ImplID(a.Impl)
+		return
+	}
+}
+
+// finalize packages the assignments into a plan with makespan and energy.
+// Energy sums in the scheduler's fixed kernel order so identical plans
+// produce bit-identical totals.
+func (s *Scheduler) finalize(choice map[string]*Assignment, devices []DeviceState, boundMS float64) *Plan {
+	p := &Plan{Assignments: choice, BoundMS: boundMS}
+	for _, k := range s.order {
+		a := choice[k]
+		if a == nil {
+			continue
+		}
+		if a.EndMS > p.MakespanMS {
+			p.MakespanMS = a.EndMS
+		}
+		// Energy charges pure execution: reconfiguration is a one-time
+		// cost amortized across the requests that reuse the bitstream,
+		// so it shapes latency (EndMS) but not the steady-state energy
+		// objective. Batched launches split their energy over the
+		// expected fill.
+		p.EnergyMJ += s.perRequestEnergyMJ(a.Impl, a.ExecMS)
+	}
+	return p
+}
+
+// optimizeEnergy is Step 2: iterate rounds of W_E-ranked implementation
+// swaps, accepting the highest-ranked swap that keeps the plan within the
+// bound and strictly reduces energy, until no swap survives — "Poly
+// iteratively updates the kernels' implementations until the latency
+// slack cannot be further reduced."
+func (s *Scheduler) optimizeEnergy(p *Plan, base []DeviceState) {
+	if p.SlackMS() <= 0 || s.tpMode {
+		return
+	}
+	for round := 0; round < 64; round++ { // bound defends against cycling
+		swaps := s.rankedSwaps(p, base)
+		accepted := false
+		effBound := p.BoundMS * s.slack
+		if effBound < p.MakespanMS {
+			effBound = p.MakespanMS // never tighter than Step 1 achieved
+		}
+		for _, sw := range swaps {
+			trial := s.resimulate(p, base, sw.kernel, sw.swapCandidate)
+			if trial == nil || trial.MakespanMS > effBound || trial.EnergyMJ >= p.EnergyMJ {
+				continue
+			}
+			n := p.EnergySwaps + 1
+			*p = *trial
+			p.EnergySwaps = n
+			accepted = true
+			break
+		}
+		if !accepted {
+			return
+		}
+	}
+}
+
+// swapCandidate is a prospective replacement implementation.
+type swapCandidate struct {
+	impl   *model.Impl
+	device string
+}
+
+type rankedSwap struct {
+	kernel string
+	we     float64
+	swapCandidate
+}
+
+// rankedSwaps enumerates per-kernel replacement candidates and sorts them
+// by descending W_E (Eq. 5): the (ΔP × ΔT) potential of trading latency
+// for power. Only genuinely energy-saving replacements qualify.
+func (s *Scheduler) rankedSwaps(p *Plan, devices []DeviceState) []rankedSwap {
+	var out []rankedSwap
+	for _, kernel := range s.order {
+		a := p.Assignments[kernel]
+		if a == nil {
+			continue
+		}
+		cur := a.Impl
+		curT := a.ExecMS
+		for di := range devices {
+			d := &devices[di]
+			if d.FreeAtMS > 0.2*p.BoundMS {
+				// Trading latency for energy is a light-load move; piling
+				// energy-preferred work onto an already-backlogged board
+				// converts slack into queueing collapse.
+				continue
+			}
+			cands := s.candidates(kernel, d.Class)
+			if d.Class == device.FPGA && d.LoadedImpl != "" {
+				res := s.implByID[d.LoadedImpl]
+				switch {
+				case res != nil && res.Kernel == kernel:
+					// Sticky: a board already serving this kernel offers
+					// only its resident bitstream.
+					cands = []*model.Impl{res}
+				case res != nil:
+					// Never evict another kernel's live bitstream just to
+					// save energy; blank boards are the swap targets.
+					continue
+				}
+			}
+			var best *rankedSwap
+			for _, im := range cands {
+				if im == cur {
+					continue
+				}
+				newT := im.LatencyMS / d.freq()
+				curE := s.perRequestEnergyMJ(cur, curT)
+				newE := s.perRequestEnergyMJ(im, newT)
+				if curE-newE <= 0 {
+					continue // no actual energy saving
+				}
+				we := (cur.PowerW - im.PowerW) * (newT - curT)
+				if best == nil || we > best.we {
+					best = &rankedSwap{kernel: kernel, we: we,
+						swapCandidate: swapCandidate{impl: im, device: d.Name}}
+				}
+			}
+			if best != nil {
+				out = append(out, *best)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].we != out[j].we {
+			return out[i].we > out[j].we
+		}
+		if out[i].kernel != out[j].kernel {
+			return out[i].kernel < out[j].kernel
+		}
+		return out[i].device < out[j].device
+	})
+	return out
+}
+
+// resimulate rebuilds the plan with `kernel` pinned to cand, re-running
+// list scheduling for start/end bookkeeping on a fresh copy of the
+// initial device states.
+func (s *Scheduler) resimulate(p *Plan, base []DeviceState, kernel string, cand swapCandidate) *Plan {
+	devs := append([]DeviceState(nil), base...)
+	pin := make(map[string]swapCandidate, len(p.Assignments))
+	for k, a := range p.Assignments {
+		pin[k] = swapCandidate{impl: a.Impl, device: a.Device}
+	}
+	pin[kernel] = cand
+
+	choice := make(map[string]*Assignment, len(s.order))
+	for _, k := range s.order {
+		pc := pin[k]
+		var dev *DeviceState
+		for di := range devs {
+			if devs[di].Name == pc.device {
+				dev = &devs[di]
+				break
+			}
+		}
+		if dev == nil {
+			return nil
+		}
+		est := s.estMS(k, dev, choice)
+		if avail := dev.availableAt(ImplID(pc.impl)); avail > est {
+			est = avail
+		}
+		a := &Assignment{Kernel: k, Impl: pc.impl, Device: pc.device,
+			StartMS: est, EndMS: est + dev.execMS(pc.impl),
+			ExecMS:   pc.impl.LatencyMS / dev.freq(),
+			CommitMS: dev.commitMS(pc.impl, batchCap(pc.impl))}
+		choice[k] = a
+		s.commit(a, devs)
+	}
+	return s.finalize(choice, devs, p.BoundMS)
+}

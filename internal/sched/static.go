@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"poly/internal/device"
+	"poly/internal/dse"
+	"poly/internal/model"
+	"poly/internal/opencl"
+)
+
+// StaticMode selects which fixed implementation the baseline deploys.
+type StaticMode int
+
+// The two baseline deployment policies of Section VI-A: the Homo-GPU and
+// Homo-FPGA systems fix one implementation per kernel — maximum energy
+// efficiency if it meets the latency constraint, minimum latency
+// otherwise — and never change it with load.
+const (
+	// StaticAuto picks max-efficiency if the bound holds, else min-latency.
+	StaticAuto StaticMode = iota
+	// StaticMinLatency always uses the fastest implementation.
+	StaticMinLatency
+	// StaticMaxEfficiency always uses the most energy-efficient one.
+	StaticMaxEfficiency
+)
+
+// StaticPlanner is the Sirius-style [4] hard-mapping baseline: every
+// kernel is pinned to one accelerator family with one implementation,
+// chosen offline and fixed across load intensities.
+type StaticPlanner struct {
+	prog  *opencl.Program
+	class device.Class
+	// impls is the fixed kernel → implementation mapping.
+	impls map[string]*model.Impl
+	order []string
+}
+
+// NewStatic builds the baseline planner for one accelerator family.
+func NewStatic(prog *opencl.Program, spaces *dse.KernelSpaces, class device.Class, mode StaticMode) (*StaticPlanner, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := prog.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	sp := &StaticPlanner{prog: prog, class: class, impls: make(map[string]*model.Impl), order: topo}
+
+	pick := func(mode StaticMode) (map[string]*model.Impl, error) {
+		out := make(map[string]*model.Impl, len(topo))
+		for _, k := range topo {
+			space := spaces.Space(k, class)
+			if space == nil {
+				return nil, fmt.Errorf("sched: kernel %q has no %s design space", k, class)
+			}
+			var im *model.Impl
+			if mode == StaticMinLatency {
+				im = space.MinLatency()
+			} else {
+				im = space.MaxEfficiency()
+			}
+			if im == nil {
+				return nil, fmt.Errorf("sched: kernel %q has an empty %s frontier", k, class)
+			}
+			out[k] = im
+		}
+		return out, nil
+	}
+
+	switch mode {
+	case StaticMinLatency, StaticMaxEfficiency:
+		sp.impls, err = pick(mode)
+		if err != nil {
+			return nil, err
+		}
+	case StaticAuto:
+		// Prefer the efficient mapping; fall back to min-latency when the
+		// unloaded critical path eats more than half the bound — a fixed
+		// deployment needs queueing headroom it can never adapt to regain.
+		eff, err := pick(StaticMaxEfficiency)
+		if err != nil {
+			return nil, err
+		}
+		sp.impls = eff
+		if sp.criticalPathMS() > 0.5*prog.LatencyBoundMS {
+			fast, err := pick(StaticMinLatency)
+			if err != nil {
+				return nil, err
+			}
+			sp.impls = fast
+		}
+	default:
+		return nil, fmt.Errorf("sched: unknown static mode %d", int(mode))
+	}
+	return sp, nil
+}
+
+// Impl returns the fixed implementation for a kernel.
+func (sp *StaticPlanner) Impl(kernel string) *model.Impl { return sp.impls[kernel] }
+
+// criticalPathMS is the unloaded DAG latency under the fixed mapping,
+// ignoring device contention (single in-flight request).
+func (sp *StaticPlanner) criticalPathMS() float64 {
+	finish := make(map[string]float64, len(sp.order))
+	var max float64
+	for _, k := range sp.order {
+		var ready float64
+		for _, e := range sp.prog.Preds(k) {
+			if finish[e.From] > ready {
+				ready = finish[e.From]
+			}
+		}
+		finish[k] = ready + sp.impls[k].LatencyMS
+		if finish[k] > max {
+			max = finish[k]
+		}
+	}
+	return max
+}
+
+// partition statically assigns each kernel a dedicated subset of the
+// class's boards, proportional to the kernel's share of total execution
+// time (at least one board each). This is the baseline's "hard mapping":
+// a board only ever hosts one kernel, so FPGAs never reconfigure after
+// the first load — exactly how a fixed Sirius-style deployment pins
+// bitstreams.
+func (sp *StaticPlanner) partition(devices []DeviceState) map[string]map[string]bool {
+	var boards []string
+	for _, d := range devices {
+		if d.Class == sp.class {
+			boards = append(boards, d.Name)
+		}
+	}
+	out := make(map[string]map[string]bool, len(sp.order))
+	if len(boards) == 0 {
+		return out
+	}
+	var total float64
+	for _, k := range sp.order {
+		total += sp.impls[k].LatencyMS
+	}
+	// First pass: proportional share, at least one board per kernel when
+	// enough boards exist; boards assigned contiguously in name order.
+	n := len(boards)
+	next := 0
+	for i, k := range sp.order {
+		share := 1
+		if total > 0 && len(sp.order) <= n {
+			share = int(float64(n) * sp.impls[k].LatencyMS / total)
+			if share < 1 {
+				share = 1
+			}
+		}
+		remainingKernels := len(sp.order) - i - 1
+		if next+share > n-remainingKernels {
+			share = n - remainingKernels - next
+			if share < 1 {
+				share = 1
+			}
+		}
+		set := make(map[string]bool, share)
+		for j := 0; j < share && next < n; j++ {
+			set[boards[next]] = true
+			next++
+		}
+		if len(set) == 0 {
+			// More kernels than boards: share boards round-robin.
+			set[boards[i%n]] = true
+		}
+		out[k] = set
+	}
+	// Leftover boards go to the heaviest kernel.
+	if next < n {
+		heaviest := sp.order[0]
+		for _, k := range sp.order {
+			if sp.impls[k].LatencyMS > sp.impls[heaviest].LatencyMS {
+				heaviest = k
+			}
+		}
+		for ; next < n; next++ {
+			out[heaviest][boards[next]] = true
+		}
+	}
+	return out
+}
+
+// Schedule produces the baseline's plan: each kernel goes to the
+// least-loaded device of its dedicated partition with its fixed impl.
+func (sp *StaticPlanner) Schedule(devices []DeviceState, boundMS float64) (*Plan, error) {
+	if boundMS <= 0 {
+		boundMS = sp.prog.LatencyBoundMS
+	}
+	part := sp.partition(devices)
+	work := append([]DeviceState(nil), devices...)
+	choice := make(map[string]*Assignment, len(sp.order))
+	for _, k := range sp.order {
+		im := sp.impls[k]
+		var best *Assignment
+		for di := range work {
+			d := &work[di]
+			if d.Class != sp.class || !part[k][d.Name] {
+				continue
+			}
+			est := d.availableAt(ImplID(im))
+			for _, e := range sp.prog.Preds(k) {
+				pa := choice[e.From]
+				if pa == nil {
+					continue
+				}
+				ready := pa.EndMS
+				if pa.Device != d.Name {
+					ready += device.DefaultPCIe.TransferMS(e.Bytes)
+				}
+				if ready > est {
+					est = ready
+				}
+			}
+			end := est + d.execMS(im)
+			if best == nil || end < best.EndMS {
+				best = &Assignment{Kernel: k, Impl: im, Device: d.Name,
+					StartMS: est, EndMS: end, ExecMS: im.LatencyMS / d.freq(),
+					CommitMS: d.commitMS(im, float64(max(1, im.Config.Batch)))}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("sched: no %s device available for kernel %q", sp.class, k)
+		}
+		choice[k] = best
+		for di := range work {
+			if work[di].Name == best.Device {
+				if free := best.StartMS + best.CommitMS; free > work[di].FreeAtMS {
+					work[di].FreeAtMS = free
+				}
+				if best.EndMS > work[di].lastEndMS {
+					work[di].lastEndMS = best.EndMS
+				}
+				work[di].LoadedImpl = ImplID(best.Impl)
+			}
+		}
+	}
+	p := &Plan{Assignments: choice, BoundMS: boundMS, MakespanMS: 0}
+	for _, k := range sp.order {
+		a := choice[k]
+		p.MakespanMS = math.Max(p.MakespanMS, a.EndMS)
+		b := a.Impl.Config.Batch
+		if b < 1 {
+			b = 1
+		}
+		p.EnergyMJ += a.Impl.PowerW * a.ExecMS / float64(b)
+	}
+	return p, nil
+}

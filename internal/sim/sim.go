@@ -1,0 +1,165 @@
+// Package sim provides a deterministic discrete-event simulation core used
+// by the device, runtime, and experiment layers of Poly.
+//
+// A Simulator owns a virtual clock and a priority queue of events. Events
+// fire in (time, insertion-order) order, so runs are fully deterministic
+// for a fixed seed and schedule. Time is measured in milliseconds, the
+// natural unit of the paper's latency bounds (e.g. a 200 ms p99 target).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in milliseconds since simulation start.
+type Time float64
+
+// Duration is a span of virtual time in milliseconds.
+type Duration = Time
+
+// String formats the time as milliseconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)) }
+
+// Event is a scheduled callback. The callback runs exactly once, at the
+// event's firing time, with the simulator clock already advanced.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index; -1 once fired or cancelled
+	action func()
+}
+
+// Time reports when the event fires (or fired).
+func (e *Event) Time() Time { return e.at }
+
+// eventQueue is a min-heap ordered by (time, sequence number).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event simulator. The zero value
+// is not usable; construct with New.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// New returns a simulator with the clock at zero and an empty event queue.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules action to run at absolute time at. Scheduling in the past
+// (before Now) clamps to Now: the event fires next, without rewinding the
+// clock. The returned Event may be passed to Cancel.
+func (s *Simulator) At(at Time, action func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{at: at, seq: s.seq, action: action}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules action to run d milliseconds from now. Negative delays
+// clamp to zero.
+func (s *Simulator) After(d Duration, action func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, action)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op and returns false.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+	e.action = nil
+	return true
+}
+
+// Halt stops the current Run/RunUntil after the in-flight event completes.
+// Remaining events stay queued.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Step fires the single earliest event, advancing the clock to it. It
+// returns false if the queue is empty.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.fired++
+	action := e.action
+	e.action = nil
+	action()
+	return true
+}
+
+// Run fires events until the queue is empty or Halt is called.
+func (s *Simulator) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil fires events with firing time ≤ deadline, then advances the
+// clock to deadline (if it is ahead of the last event). Events scheduled
+// after deadline remain queued.
+func (s *Simulator) RunUntil(deadline Time) {
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+}

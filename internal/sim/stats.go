@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample accumulates scalar observations and answers summary queries:
+// count, mean, variance (Welford), min/max, and exact percentiles.
+// It keeps every observation, which is fine at experiment scale (at most a
+// few million request latencies per run).
+type Sample struct {
+	values []float64
+	sorted bool
+	mean   float64
+	m2     float64
+	min    float64
+	max    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	if len(s.values) == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.values = append(s.values, v)
+	s.sorted = false
+	// Welford's online update keeps mean/variance numerically stable.
+	delta := v - s.mean
+	s.mean += delta / float64(len(s.values))
+	s.m2 += delta * (v - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the population variance, or 0 with <2 observations.
+func (s *Sample) Variance() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	return s.m2 / float64(len(s.values))
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using the
+// nearest-rank method on the sorted observations. Tail-latency SLOs are
+// conventionally reported this way (e.g. p99). Empty samples return 0.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.values[rank-1]
+}
+
+// P99 is shorthand for Percentile(99), the paper's QoS metric.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// Reset discards all observations.
+func (s *Sample) Reset() {
+	s.values = s.values[:0]
+	s.sorted = false
+	s.mean, s.m2, s.min, s.max = 0, 0, 0, 0
+}
+
+// TimeSeries records (time, value) points, e.g. instantaneous node power
+// over a served trace, and integrates them.
+type TimeSeries struct {
+	Times  []Time
+	Values []float64
+}
+
+// Add appends one point. Times must be non-decreasing; out-of-order points
+// are clamped to the last recorded time so integration stays well-defined.
+func (ts *TimeSeries) Add(t Time, v float64) {
+	if n := len(ts.Times); n > 0 && t < ts.Times[n-1] {
+		t = ts.Times[n-1]
+	}
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len returns the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// Integral returns the time integral of the series using step
+// interpolation (each value holds until the next point). For a power
+// series in watts with time in ms, the result is milliwatt-ms; callers
+// convert units. An empty or single-point series integrates to 0.
+func (ts *TimeSeries) Integral() float64 {
+	var total float64
+	for i := 1; i < len(ts.Times); i++ {
+		dt := float64(ts.Times[i] - ts.Times[i-1])
+		total += ts.Values[i-1] * dt
+	}
+	return total
+}
+
+// MeanValue returns the time-weighted mean value, or 0 when the series
+// spans zero time.
+func (ts *TimeSeries) MeanValue() float64 {
+	if len(ts.Times) < 2 {
+		return 0
+	}
+	span := float64(ts.Times[len(ts.Times)-1] - ts.Times[0])
+	if span == 0 {
+		return 0
+	}
+	return ts.Integral() / span
+}

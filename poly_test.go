@@ -1,0 +1,97 @@
+package poly_test
+
+import (
+	"strings"
+	"testing"
+
+	"poly"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	fw, err := poly.Benchmark("ASR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := poly.NewBench(fw, poly.HeterPoly, poly.SettingI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bench.ServeConstantLoad(5, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.P99MS <= 0 || res.AvgPowerW <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestPublicCompile(t *testing.T) {
+	fw, err := poly.Compile(`
+program demo
+kernel k
+  repeat 50
+  const w f32[512x512]
+  in x f32[512]
+  map m(x w, func=mac ops=1024 elems=512)
+  pipeline act(m, funcs=[sigmoid:8 mul:1])
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Program().Name != "demo" {
+		t.Fatal("wrong program")
+	}
+	if _, err := poly.Compile("not a program"); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := poly.Benchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPublicSettings(t *testing.T) {
+	if poly.SettingI().Name != "Setting-I" ||
+		poly.SettingII().Name != "Setting-II" ||
+		poly.SettingIII().Name != "Setting-III" {
+		t.Fatal("setting wiring wrong")
+	}
+}
+
+func TestPublicTrace(t *testing.T) {
+	tr := poly.SynthesizeTrace(3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DurationMS() != 24*3600_000 {
+		t.Fatal("trace must span 24 h")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	exps := poly.Experiments()
+	if len(exps) < 15 {
+		t.Fatalf("experiment registry too small: %d", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e[0]] = true
+	}
+	for _, want := range []string{"fig1a", "fig1b", "fig1c", "fig6", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "qos", "accuracy"} {
+		if !ids[want] {
+			t.Fatalf("experiment %q missing from registry", want)
+		}
+	}
+	if _, err := poly.RunExperiment("nonsense"); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatal("unknown experiment must be rejected with a helpful error")
+	}
+}
+
+func TestPublicRunCheapExperiment(t *testing.T) {
+	r, err := poly.RunExperiment("fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID() != "fig11" || r.Render() == "" {
+		t.Fatal("experiment result malformed")
+	}
+}
