@@ -10,9 +10,13 @@
 package poly_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"poly"
+	"poly/internal/cluster"
+	"poly/internal/dse"
 	"poly/internal/exp"
 )
 
@@ -134,4 +138,71 @@ func BenchmarkFig13ArchScalability(b *testing.B) {
 func BenchmarkFig14CostEfficiency(b *testing.B) {
 	r := runExperiment(b, "fig14").(*exp.CostEfficiencyResult)
 	b.ReportMetric(r.RPSPerUSD["Setting-I"]["Heter-Poly"], "polyRPSperUSD")
+}
+
+// ---------------------------------------------------- parallel engine
+
+// BenchmarkExploreProgram measures the design-space exploration of the
+// six apps on Setting-I, cold, at the full pool size, and reports the
+// serial wall-clock and speedup as custom metrics so BENCH_*.json
+// captures the perf trajectory. On a single-core runner the speedup
+// metric sits near 1.0 by construction.
+func BenchmarkExploreProgram(b *testing.B) {
+	defer poly.SetWorkers(0)
+	explore := func(workers int) time.Duration {
+		poly.SetWorkers(workers)
+		exp.ResetCaches() // cold: no memoized spaces
+		start := time.Now()
+		for _, name := range []string{"ASR", "FQT", "IR", "CS", "MF", "WT"} {
+			fw, err := poly.Benchmark(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pa := fw.Analysis()
+			if _, err := dse.ExploreProgram(pa, cluster.SettingI.GPU, cluster.SettingI.FPGA); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	serial := explore(1)
+	b.ResetTimer()
+	var par time.Duration
+	for i := 0; i < b.N; i++ {
+		par += explore(runtime.NumCPU())
+	}
+	b.StopTimer()
+	avg := par / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()*1000, "serialMS")
+	b.ReportMetric(avg.Seconds()*1000, "parallelMS")
+	b.ReportMetric(serial.Seconds()/avg.Seconds(), "speedup")
+}
+
+// BenchmarkSweepParallel measures the heavyweight fig13 sweep (18
+// independent maxRPS binary searches) cold at the full pool size vs the
+// serial engine, reporting both wall-clocks and the speedup. This is
+// the headline number of the parallel harness: expect ≥ 2× on any
+// multi-core runner (1.0× on a single core).
+func BenchmarkSweepParallel(b *testing.B) {
+	defer poly.SetWorkers(0)
+	sweep := func(workers int) time.Duration {
+		poly.SetWorkers(workers)
+		exp.ResetCaches() // cold: re-run every maxRPS search
+		start := time.Now()
+		if _, err := poly.RunExperiment("fig13"); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := sweep(1)
+	b.ResetTimer()
+	var par time.Duration
+	for i := 0; i < b.N; i++ {
+		par += sweep(runtime.NumCPU())
+	}
+	b.StopTimer()
+	avg := par / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()*1000, "serialMS")
+	b.ReportMetric(avg.Seconds()*1000, "parallelMS")
+	b.ReportMetric(serial.Seconds()/avg.Seconds(), "speedup")
 }

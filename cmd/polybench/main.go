@@ -15,13 +15,17 @@ import (
 	"time"
 
 	"poly/internal/exp"
+	"poly/internal/parallel"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
+	workers := flag.Int("workers", 0,
+		"worker-pool size for sweeps and DSE (0 = POLY_WORKERS or NumCPU, 1 = serial engine; output is identical at any size)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	emit := func(r exp.Result) {
 		if *asJSON {

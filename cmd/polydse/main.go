@@ -17,6 +17,7 @@ import (
 	"poly/internal/cluster"
 	"poly/internal/core"
 	"poly/internal/device"
+	"poly/internal/parallel"
 )
 
 func main() {
@@ -24,7 +25,10 @@ func main() {
 	src := flag.String("src", "", "path to an annotation-language source file")
 	settingName := flag.String("setting", "I", "hardware setting: I, II, or III")
 	frontier := flag.Bool("frontier", false, "dump full Pareto frontiers")
+	workers := flag.Int("workers", 0,
+		"worker-pool size for the exploration (0 = POLY_WORKERS or NumCPU, 1 = serial engine; output is identical at any size)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	setting, err := pickSetting(*settingName)
 	if err != nil {

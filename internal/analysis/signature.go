@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Signature returns a content hash of everything the optimizer
+// (internal/opt) and the analytical models (internal/model) read from
+// this kernel: the pattern instances and their lowered CDFGs, the
+// parallelism/footprint characterization, the PPG order and edge
+// communication, and the fusion candidates. Two kernels with equal
+// signatures therefore enumerate and evaluate to identical design
+// spaces on any given board, which is what lets internal/dse share one
+// explored Space between applications and hardware settings that reuse
+// a kernel or a board.
+func (k *Kernel) Signature() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kernel %s repeat=%d ops=%d gbytes=%d cbytes=%d rbytes=%d\n",
+		k.Name, k.Repeat, k.TotalOps, k.GlobalBytes, k.ConstBytes, k.RequestBytes)
+	for _, name := range k.Order {
+		writeInfo(h, k.Infos[name])
+	}
+	for _, c := range k.Comms {
+		fmt.Fprintf(h, "edge %s->%s global=%d onchip=%d intensity=%g\n",
+			c.Edge.From, c.Edge.To, c.GlobalTraffic, c.OnChipTraffic, c.Intensity)
+	}
+	for _, f := range k.Fusible {
+		fmt.Fprintf(h, "fuse %s->%s buf=%d save=%d\n", f.From, f.To, f.BufferBytes, f.Saving)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeInfo serializes one pattern instance's characterization, CDFG
+// included (node kinds, operator mnemonics, cycle counts, and edges all
+// feed the latency/resource models).
+func writeInfo(w io.Writer, info *PatternInfo) {
+	in := info.Inst
+	fmt.Fprintf(w, "inst %s kind=%s elems=%d ebytes=%d taps=%d tile=%v/%v irregular=%v\n",
+		in.Name, in.Kind, in.Elems, in.ElemBytes, in.StencilTaps, in.TileSize, in.TileCount, in.Irregular)
+	for _, f := range in.Funcs {
+		fmt.Fprintf(w, "func %s ops=%d custom=%v assoc=%v\n", f.Name, f.Ops, f.Custom, f.Associative)
+	}
+	fmt.Fprintf(w, "par data=%d compute=%d in=%d out=%d ai=%g\n",
+		info.DataParallelism, info.ComputeParallelism, info.InBytes, info.OutBytes, info.ArithIntensity)
+	for _, n := range info.CDFG.Nodes() {
+		fmt.Fprintf(w, "node %d %s %s %d ->%v\n", n.ID, n.Kind, n.Op, n.Cycles, info.CDFG.Succ(n.ID))
+	}
+}

@@ -131,6 +131,19 @@ func App(name string) (*Framework, error) {
 	return actual.(*Framework), nil
 }
 
+// ResetExplorations drops every compiled application's cached design
+// spaces, so the next Explore runs cold. Test/benchmark hook; pairs
+// with dse.ResetCache, which holds the underlying per-kernel spaces.
+func ResetExplorations() {
+	appCache.Range(func(_, v any) bool {
+		fw := v.(*Framework)
+		fw.mu.Lock()
+		fw.spaces = make(map[string]*dse.KernelSpaces)
+		fw.mu.Unlock()
+		return true
+	})
+}
+
 // Apps compiles all six benchmarks in Table II order.
 func Apps() ([]*Framework, error) {
 	var out []*Framework

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +9,7 @@ import (
 	"poly/internal/device"
 	"poly/internal/model"
 	"poly/internal/opencl"
+	"poly/internal/parallel"
 )
 
 const lstmSrc = `
@@ -189,6 +191,72 @@ func TestExploreRejectsUnknownSpec(t *testing.T) {
 	ka := analyzed(t)
 	if _, err := Explore(ka, "bogus"); err == nil {
 		t.Fatal("unknown spec type accepted")
+	}
+}
+
+// fingerprint renders a space's full contents: every feasible and
+// frontier point with its config, in order.
+func fingerprint(s *Space) string {
+	out := fmt.Sprintf("%s/%s/%s enum=%d\n", s.Kernel, s.Board, s.Class, s.Enumerated)
+	for _, im := range s.Feasible {
+		out += "F " + im.String() + "\n"
+	}
+	for _, im := range s.Pareto {
+		out += "P " + im.String() + "\n"
+	}
+	return out
+}
+
+func TestExploreProgramDeterministicAcrossPoolSizes(t *testing.T) {
+	prog := opencl.MustParse(lstmSrc)
+	pa, err := analysis.AnalyzeProgram(prog, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.SetWorkers(0)
+	run := func(workers int) string {
+		parallel.SetWorkers(workers)
+		ResetCache() // force a cold exploration at this pool size
+		ks, err := ExploreProgram(pa, device.AMDW9100, device.Xilinx7V3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		for _, name := range pa.Order {
+			out += fingerprint(ks.GPU[name]) + fingerprint(ks.FPGA[name])
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8} {
+		if par := run(w); par != serial {
+			t.Fatalf("workers=%d exploration differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, serial, w, par)
+		}
+	}
+}
+
+func TestSpaceCacheSharesAcrossCalls(t *testing.T) {
+	ka := analyzed(t)
+	ResetCache()
+	a, err := Explore(ka, device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(ka, device.AMDW9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Explore of an identical (kernel, board) pair must hit the cache")
+	}
+	// A different board must not collide with the cached space.
+	c, err := Explore(ka, device.NvidiaK20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c.Board == a.Board {
+		t.Fatal("different board hit the same cache entry")
 	}
 }
 

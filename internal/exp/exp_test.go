@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"poly/internal/apps"
+	"poly/internal/parallel"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -160,6 +161,47 @@ func TestModelAccuracyExperiment(t *testing.T) {
 	if a.MeanAbsErr <= 0 {
 		t.Fatal("zero mean error is implausible with perturbation on")
 	}
+}
+
+// renderAt runs one experiment cold (caches cleared) at a given pool
+// size and returns its rendered text.
+func renderAt(t *testing.T, id string, workers int) string {
+	t.Helper()
+	parallel.SetWorkers(workers)
+	ResetCaches()
+	r, err := Run(id)
+	if err != nil {
+		t.Fatalf("%s with workers=%d: %v", id, workers, err)
+	}
+	return r.Render()
+}
+
+// TestParallelSweepDeterminism is the engine's core guarantee: a sweep
+// run on N workers renders bit-identically to the serial engine. fig1c
+// exercises the DSE fan-out and Pareto merge; fig1a exercises the
+// simulation harness (maxRPS searches plus the arch × load grid).
+func TestParallelSweepDeterminism(t *testing.T) {
+	defer func() {
+		parallel.SetWorkers(0)
+		ResetCaches()
+	}()
+	t.Run("fig1c", func(t *testing.T) {
+		serial := renderAt(t, "fig1c", 1)
+		for _, w := range []int{2, 8} {
+			if par := renderAt(t, "fig1c", w); par != serial {
+				t.Fatalf("fig1c render differs at workers=%d:\n--- serial ---\n%s--- workers=%d ---\n%s", w, serial, w, par)
+			}
+		}
+	})
+	t.Run("fig1a", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("fig1a sweep takes tens of seconds; skipped with -short")
+		}
+		serial := renderAt(t, "fig1a", 1)
+		if par := renderAt(t, "fig1a", 4); par != serial {
+			t.Fatalf("fig1a render differs at workers=4:\n--- serial ---\n%s--- workers=4 ---\n%s", serial, par)
+		}
+	})
 }
 
 func TestGeomeanAndHelpers(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"poly/internal/core"
 	"poly/internal/device"
 	"poly/internal/metrics"
+	"poly/internal/parallel"
 	"poly/internal/sim"
 )
 
@@ -58,25 +59,27 @@ func archScalability() (Result, error) {
 		Splits: []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
 		RPS:    map[string][]float64{},
 	}
-	for _, setting := range cluster.Settings() {
-		var row []float64
-		for _, split := range res.Splits {
-			var v float64
-			var err error
-			switch split {
-			case 0:
-				v, err = maxRPS("ASR", cluster.HomoFPGA, setting, 1000, 0)
-			case 1.0:
-				v, err = maxRPS("ASR", cluster.HomoGPU, setting, 1000, 0)
-			default:
-				v, err = maxRPS("ASR", cluster.HeterPoly, setting, 1000, split)
-			}
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, v)
+	// Every (setting, split) point is an independent maxRPS search — the
+	// heavyweight sweep of the suite. Fan the 18-cell grid out and
+	// assemble rows by index.
+	settings := cluster.Settings()
+	grid, err := parallel.Map(len(settings)*len(res.Splits), func(idx int) (float64, error) {
+		setting := settings[idx/len(res.Splits)]
+		split := res.Splits[idx%len(res.Splits)]
+		switch split {
+		case 0:
+			return maxRPS("ASR", cluster.HomoFPGA, setting, 1000, 0)
+		case 1.0:
+			return maxRPS("ASR", cluster.HomoGPU, setting, 1000, 0)
+		default:
+			return maxRPS("ASR", cluster.HeterPoly, setting, 1000, split)
 		}
-		res.RPS[setting.Name] = row
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, setting := range settings {
+		res.RPS[setting.Name] = grid[i*len(res.Splits) : (i+1)*len(res.Splits)]
 	}
 	return res, nil
 }
@@ -118,41 +121,55 @@ func costEfficiency() (Result, error) {
 		TCOUSD:    map[string]map[string]float64{},
 		MaxRPS:    map[string]map[string]float64{},
 	}
-	for _, setting := range cluster.Settings() {
+	// One cell per (setting, architecture): maxRPS search, half-load power
+	// probe, provisioning, and TCO math are all independent across cells.
+	settings, archs := cluster.Settings(), Archs()
+	type cell struct {
+		ce, tco, m float64
+	}
+	grid, err := parallel.Map(len(settings)*len(archs), func(idx int) (cell, error) {
+		setting, arch := settings[idx/len(archs)], archs[idx%len(archs)]
+		m, err := maxRPS("ASR", arch, setting, 500, 0)
+		if err != nil {
+			return cell{}, err
+		}
+		// Average power at 50 % load drives the energy bill.
+		b, err := benchFor("ASR", arch, setting)
+		if err != nil {
+			return cell{}, err
+		}
+		half, err := b.ServeConstantLoad(0.5*m, probeDurationMS, probeSeed)
+		if err != nil {
+			return cell{}, err
+		}
+		plan, err := cluster.Provision(cluster.Config{Arch: arch, Setting: setting, PowerCapW: 500})
+		if err != nil {
+			return cell{}, err
+		}
+		node := cluster.Build(sim.New(), plan)
+		tcoParams := metrics.DefaultTCO(node.CapexUSD(), 500, half.AvgPowerW)
+		ce, err := metrics.CostEfficiency(m, tcoParams)
+		if err != nil {
+			return cell{}, err
+		}
+		tco, err := tcoParams.MonthlyUSD()
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{ce: ce, tco: tco, m: m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, setting := range settings {
 		res.RPSPerUSD[setting.Name] = map[string]float64{}
 		res.TCOUSD[setting.Name] = map[string]float64{}
 		res.MaxRPS[setting.Name] = map[string]float64{}
-		for _, arch := range Archs() {
-			m, err := maxRPS("ASR", arch, setting, 500, 0)
-			if err != nil {
-				return nil, err
-			}
-			// Average power at 50 % load drives the energy bill.
-			b, err := benchFor("ASR", arch, setting)
-			if err != nil {
-				return nil, err
-			}
-			half, err := b.ServeConstantLoad(0.5*m, probeDurationMS, probeSeed)
-			if err != nil {
-				return nil, err
-			}
-			plan, err := cluster.Provision(cluster.Config{Arch: arch, Setting: setting, PowerCapW: 500})
-			if err != nil {
-				return nil, err
-			}
-			node := cluster.Build(sim.New(), plan)
-			tcoParams := metrics.DefaultTCO(node.CapexUSD(), 500, half.AvgPowerW)
-			ce, err := metrics.CostEfficiency(m, tcoParams)
-			if err != nil {
-				return nil, err
-			}
-			tco, err := tcoParams.MonthlyUSD()
-			if err != nil {
-				return nil, err
-			}
-			res.RPSPerUSD[setting.Name][arch.String()] = ce
-			res.TCOUSD[setting.Name][arch.String()] = tco
-			res.MaxRPS[setting.Name][arch.String()] = m
+		for j, arch := range archs {
+			c := grid[i*len(archs)+j]
+			res.RPSPerUSD[setting.Name][arch.String()] = c.ce
+			res.TCOUSD[setting.Name][arch.String()] = c.tco
+			res.MaxRPS[setting.Name][arch.String()] = c.m
 		}
 	}
 	return res, nil
@@ -197,9 +214,13 @@ func (r *AccuracyResult) Render() string {
 
 // modelAccuracy executes each kernel's fastest implementation once on a
 // fresh board and compares the measured span with the model's prediction.
+// Apps fan out across the worker pool (each probe owns its simulator);
+// rows are merged in Table II order before the summary statistics.
 func modelAccuracy() (Result, error) {
 	res := &AccuracyResult{id: "accuracy"}
-	for _, name := range apps.Names() {
+	names := apps.Names()
+	perApp, err := parallel.Map(len(names), func(i int) ([]AccuracyRow, error) {
+		name := names[i]
 		fw, err := core.App(name)
 		if err != nil {
 			return nil, err
@@ -208,6 +229,7 @@ func modelAccuracy() (Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows []AccuracyRow
 		for _, k := range fw.Program().Kernels() {
 			for _, class := range []device.Class{device.GPU, device.FPGA} {
 				im := ks.Space(k.Name, class).MinLatency()
@@ -231,15 +253,24 @@ func modelAccuracy() (Result, error) {
 				}
 				s.Run()
 				measured := float64(doneAt - started)
-				err := math.Abs(measured-im.LatencyMS) / im.LatencyMS
-				res.Rows = append(res.Rows, AccuracyRow{
+				rows = append(rows, AccuracyRow{
 					App: name, Kernel: k.Name, Platform: class.String(),
-					ModelMS: im.LatencyMS, MeasuredMS: measured, AbsErr: err,
+					ModelMS: im.LatencyMS, MeasuredMS: measured,
+					AbsErr: math.Abs(measured-im.LatencyMS) / im.LatencyMS,
 				})
-				res.MeanAbsErr += err
-				if err > res.MaxAbsErr {
-					res.MaxAbsErr = err
-				}
+			}
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range perApp {
+		for _, row := range rows {
+			res.Rows = append(res.Rows, row)
+			res.MeanAbsErr += row.AbsErr
+			if row.AbsErr > res.MaxAbsErr {
+				res.MaxAbsErr = row.AbsErr
 			}
 		}
 	}

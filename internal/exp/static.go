@@ -8,7 +8,9 @@ import (
 	"poly/internal/cluster"
 	"poly/internal/core"
 	"poly/internal/device"
+	"poly/internal/dse"
 	"poly/internal/metrics"
+	"poly/internal/parallel"
 	"poly/internal/runtime"
 	"poly/internal/sched"
 )
@@ -33,27 +35,35 @@ func benchFor(app string, arch cluster.Architecture, setting cluster.Setting) (r
 	return fw.Bench(arch, setting)
 }
 
-// maxRPS caches per (app, arch, setting, cap, split) searches: several
-// figures need the same maxima.
-var maxRPSCache = map[string]float64{}
+// maxRPSMemo shares per (app, arch, setting, cap, split) searches:
+// several figures need the same maxima, and concurrent sweeps asking for
+// the same key singleflight on one binary search instead of duplicating
+// it. (This replaces an unsynchronized package-global map that the
+// parallel harness would have raced on.)
+var maxRPSMemo = parallel.NewMemo[float64]()
+
+// ResetCaches clears the cross-experiment memo caches: the maxRPS search
+// results, the process-wide design-space cache, and the per-application
+// exploration cache. Test/benchmark hook — determinism and speedup
+// comparisons use it to run each configuration cold instead of replaying
+// the first run's cached values.
+func ResetCaches() {
+	maxRPSMemo.Reset()
+	dse.ResetCache()
+	core.ResetExplorations()
+}
 
 func maxRPS(app string, arch cluster.Architecture, setting cluster.Setting, capW, gpuShare float64) (float64, error) {
 	key := fmt.Sprintf("%s|%v|%s|%v|%v", app, arch, setting.Name, capW, gpuShare)
-	if v, ok := maxRPSCache[key]; ok {
-		return v, nil
-	}
-	b, err := benchFor(app, arch, setting)
-	if err != nil {
-		return 0, err
-	}
-	b.PowerCapW = capW
-	b.GPUShare = gpuShare
-	v, err := b.MaxThroughputRPS(searchCapRPS, probeDurationMS, probeSeed)
-	if err != nil {
-		return 0, err
-	}
-	maxRPSCache[key] = v
-	return v, nil
+	return maxRPSMemo.Do(key, func() (float64, error) {
+		b, err := benchFor(app, arch, setting)
+		if err != nil {
+			return 0, err
+		}
+		b.PowerCapW = capW
+		b.GPUShare = gpuShare
+		return b.MaxThroughputRPS(searchCapRPS, probeDurationMS, probeSeed)
+	})
 }
 
 // ---------------------------------------------------------------- fig1a
@@ -88,7 +98,9 @@ func (r *TailLatencyResult) Render() string {
 	return b.String()
 }
 
-// tailLatency sweeps offered load for one app on Setting-I.
+// tailLatency sweeps offered load for one app on Setting-I. The
+// (architecture × load) grid fans out across the worker pool; cells are
+// collected by index, so the assembled curves match a serial sweep.
 func tailLatency(id, app string) (*TailLatencyResult, error) {
 	res := &TailLatencyResult{id: id, App: app, MaxRPS: map[string]float64{}}
 	// Load grid: fractions of the Poly max, the paper's x-axis convention.
@@ -97,28 +109,42 @@ func tailLatency(id, app string) (*TailLatencyResult, error) {
 		return nil, err
 	}
 	fracs := []float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0, 1.15}
-	for _, arch := range Archs() {
+	archs := Archs()
+	type cell struct {
+		rps, p99, bound float64
+	}
+	cells, err := parallel.Map(len(archs)*len(fracs), func(idx int) (cell, error) {
+		arch, f := archs[idx/len(fracs)], fracs[idx%len(fracs)]
 		b, err := benchFor(app, arch, cluster.SettingI)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
+		rps := f * polyMax
+		r, err := b.ServeConstantLoad(rps, probeDurationMS, probeSeed)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{rps: rps, p99: r.P99MS, bound: b.Prog.LatencyBoundMS}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxes, err := parallel.Map(len(archs), func(i int) (float64, error) {
+		return maxRPS(app, archs[i], cluster.SettingI, 500, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, arch := range archs {
 		s := Series{Name: arch.String()}
-		for _, f := range fracs {
-			rps := f * polyMax
-			r, err := b.ServeConstantLoad(rps, probeDurationMS, probeSeed)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, rps)
-			s.Y = append(s.Y, r.P99MS)
-			res.Bound = b.Prog.LatencyBoundMS
+		for j := range fracs {
+			c := cells[i*len(fracs)+j]
+			s.X = append(s.X, c.rps)
+			s.Y = append(s.Y, c.p99)
+			res.Bound = c.bound
 		}
 		res.Curves = append(res.Curves, s)
-		m, err := maxRPS(app, arch, cluster.SettingI, 500, 0)
-		if err != nil {
-			return nil, err
-		}
-		res.MaxRPS[arch.String()] = m
+		res.MaxRPS[arch.String()] = maxes[i]
 	}
 	return res, nil
 }
@@ -178,7 +204,10 @@ func (r *PowerScalingResult) MeanEP(arch string) float64 {
 }
 
 // powerScaling measures node power at 10–100 % of each architecture's own
-// maximum load and computes EP from the resulting curve.
+// maximum load and computes EP from the resulting curve. The
+// (app × architecture) grid fans out across the worker pool; each cell's
+// load sweep stays sequential, and the per-app curve lists are assembled
+// in grid order so the result matches a serial run.
 func powerScaling(id string, appNames []string) (*PowerScalingResult, error) {
 	res := &PowerScalingResult{
 		id:     id,
@@ -187,32 +216,45 @@ func powerScaling(id string, appNames []string) (*PowerScalingResult, error) {
 		EP:     map[string]map[string]float64{},
 	}
 	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
-	for _, app := range appNames {
+	archs := Archs()
+	type cell struct {
+		s  Series
+		ep float64
+	}
+	cells, err := parallel.Map(len(appNames)*len(archs), func(idx int) (cell, error) {
+		app, arch := appNames[idx/len(archs)], archs[idx%len(archs)]
+		m, err := maxRPS(app, arch, cluster.SettingI, 500, 0)
+		if err != nil {
+			return cell{}, err
+		}
+		b, err := benchFor(app, arch, cluster.SettingI)
+		if err != nil {
+			return cell{}, err
+		}
+		s := Series{Name: arch.String()}
+		for _, l := range loads {
+			r, err := b.ServeConstantLoad(l*m, probeDurationMS, probeSeed)
+			if err != nil {
+				return cell{}, err
+			}
+			s.X = append(s.X, l)
+			s.Y = append(s.Y, r.AvgPowerW)
+		}
+		ep, err := metrics.EnergyProportionality(metrics.PowerCurve{Loads: s.X, PowerW: s.Y})
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{s: s, ep: ep}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, app := range appNames {
 		res.EP[app] = map[string]float64{}
-		for _, arch := range Archs() {
-			m, err := maxRPS(app, arch, cluster.SettingI, 500, 0)
-			if err != nil {
-				return nil, err
-			}
-			b, err := benchFor(app, arch, cluster.SettingI)
-			if err != nil {
-				return nil, err
-			}
-			s := Series{Name: arch.String()}
-			for _, l := range loads {
-				r, err := b.ServeConstantLoad(l*m, probeDurationMS, probeSeed)
-				if err != nil {
-					return nil, err
-				}
-				s.X = append(s.X, l)
-				s.Y = append(s.Y, r.AvgPowerW)
-			}
-			ep, err := metrics.EnergyProportionality(metrics.PowerCurve{Loads: s.X, PowerW: s.Y})
-			if err != nil {
-				return nil, err
-			}
-			res.Curves[app] = append(res.Curves[app], s)
-			res.EP[app][arch.String()] = ep
+		for j, arch := range archs {
+			c := cells[i*len(archs)+j]
+			res.Curves[app] = append(res.Curves[app], c.s)
+			res.EP[app][arch.String()] = c.ep
 		}
 	}
 	return res, nil
@@ -304,27 +346,37 @@ func (r *EfficiencyResult) Render() string {
 func efficiencyVsUtilization() (Result, error) {
 	res := &EfficiencyResult{id: "fig1d"}
 	loads := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
-	for _, arch := range Archs() {
-		m, err := maxRPS("ASR", arch, cluster.SettingI, 500, 0)
-		if err != nil {
-			return nil, err
-		}
+	archs := Archs()
+	maxes, err := parallel.Map(len(archs), func(i int) (float64, error) {
+		return maxRPS("ASR", archs[i], cluster.SettingI, 500, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One grid cell per (architecture, load) point, collected by index.
+	effs, err := parallel.Map(len(archs)*len(loads), func(idx int) (float64, error) {
+		arch, l := archs[idx/len(loads)], loads[idx%len(loads)]
 		b, err := benchFor("ASR", arch, cluster.SettingI)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		r, err := b.ServeConstantLoad(l*maxes[idx/len(loads)], probeDurationMS, probeSeed)
+		if err != nil {
+			return 0, err
+		}
+		if r.AvgPowerW <= 0 {
+			return 0, nil
+		}
+		return r.ThroughputRPS / r.AvgPowerW, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, arch := range archs {
 		s := Series{Name: arch.String()}
-		for _, l := range loads {
-			r, err := b.ServeConstantLoad(l*m, probeDurationMS, probeSeed)
-			if err != nil {
-				return nil, err
-			}
-			eff := 0.0
-			if r.AvgPowerW > 0 {
-				eff = r.ThroughputRPS / r.AvgPowerW
-			}
+		for j, l := range loads {
 			s.X = append(s.X, l)
-			s.Y = append(s.Y, eff)
+			s.Y = append(s.Y, effs[i*len(loads)+j])
 		}
 		res.Curves = append(res.Curves, s)
 	}
@@ -423,6 +475,19 @@ func (r *DesignSpaceResult) Render() string {
 
 func designSpaces() (Result, error) {
 	res := &DesignSpaceResult{id: "table2"}
+	// Warm every app's design spaces concurrently (each exploration also
+	// fans out internally); the row assembly below then runs on cache
+	// hits, in Table II order.
+	if err := parallel.ForEach(len(apps.Names()), func(i int) error {
+		fw, err := core.App(apps.Names()[i])
+		if err != nil {
+			return err
+		}
+		_, err = fw.Explore(cluster.SettingI)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	for _, name := range apps.Names() {
 		fw, err := core.App(name)
 		if err != nil {
@@ -519,16 +584,22 @@ func maxThroughput() (Result, error) {
 		MeanNorm:   map[string]float64{},
 		GeoNorm:    map[string]float64{},
 	}
+	// The 6 apps × 3 architectures maxRPS searches are independent: fan
+	// them out, then run the normalization serially over the ordered grid.
+	names, archs := apps.Names(), Archs()
+	grid, err := parallel.Map(len(names)*len(archs), func(idx int) (float64, error) {
+		return maxRPS(names[idx/len(archs)], archs[idx%len(archs)], cluster.SettingI, 500, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
 	perArchNorm := map[string][]float64{}
-	for _, app := range apps.Names() {
+	for i, app := range names {
 		res.RPS[app] = map[string]float64{}
 		res.Normalized[app] = map[string]float64{}
 		best := 0.0
-		for _, arch := range Archs() {
-			v, err := maxRPS(app, arch, cluster.SettingI, 500, 0)
-			if err != nil {
-				return nil, err
-			}
+		for j, arch := range archs {
+			v := grid[i*len(archs)+j]
 			res.RPS[app][arch.String()] = v
 			if v > best {
 				best = v
@@ -641,7 +712,9 @@ func scheduleASR() (Result, error) {
 	return res, nil
 }
 
-// tailLatencyAll is Fig. 7: the per-app tail-latency sweeps.
+// tailLatencyAll is Fig. 7: the per-app tail-latency sweeps. Apps run
+// sequentially — each per-app sweep already fans its 24-cell grid plus
+// maxRPS searches out across the pool — and Parts keeps Table II order.
 func tailLatencyAll() (Result, error) {
 	agg := &MultiResult{id: "fig7"}
 	for _, app := range apps.Names() {

@@ -6,6 +6,7 @@ import (
 
 	"poly/internal/cluster"
 	"poly/internal/core"
+	"poly/internal/parallel"
 	"poly/internal/runtime"
 	"poly/internal/sim"
 	"poly/internal/trace"
@@ -126,31 +127,45 @@ func traceReplay() (Result, error) {
 		return nil, err
 	}
 	compress := tr.DurationMS() / traceCompressed
-	for _, arch := range Archs() {
+	// The three architecture replays are independent (each owns its
+	// session, simulator, and workload RNG seeded identically): fan them
+	// out and fill the keyed maps from the ordered results.
+	archs := Archs()
+	type replay struct {
+		out   runtime.Result
+		bound float64
+	}
+	outs, err := parallel.Map(len(archs), func(i int) (replay, error) {
 		fw, err := core.App("ASR")
 		if err != nil {
-			return nil, err
+			return replay{}, err
 		}
-		b, err := fw.Bench(arch, cluster.SettingI)
+		b, err := fw.Bench(archs[i], cluster.SettingI)
 		if err != nil {
-			return nil, err
+			return replay{}, err
 		}
 		sv, _, err := b.NewSession(runtime.Options{WarmupMS: 10_000})
 		if err != nil {
-			return nil, err
+			return replay{}, err
 		}
 		w := runtime.NewWorkload(traceSeed)
 		rate := func(at sim.Time) float64 {
 			return 0.8 * polyMax * tr.At(float64(at)*compress)
 		}
 		w.InjectRate(sv, rate, sim.Time(traceCompressed), 5000)
-		out := sv.Collect()
+		return replay{out: sv.Collect(), bound: fw.Program().LatencyBoundMS}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, arch := range archs {
+		out := outs[i].out
 		res.Power[arch.String()] = out.Power
 		res.AvgPowerW[arch.String()] = out.AvgPowerW
 		res.EnergyMJ[arch.String()] = out.EnergyMJ
 		res.Violation[arch.String()] = out.ViolationRatio()
 		res.P99[arch.String()] = out.P99MS
-		res.BoundMS = fw.Program().LatencyBoundMS
+		res.BoundMS = outs[i].bound
 	}
 	return res, nil
 }

@@ -1,0 +1,205 @@
+// Package parallel is Poly's shared worker-pool execution engine. Both
+// halves of the system fan out through it: design-space exploration
+// (internal/dse) evaluates candidate configurations and per-kernel×board
+// spaces concurrently, and the experiment harness (internal/exp) runs
+// independent simulations — maxRPS searches, per-app sweeps, power-cap
+// points — across workers.
+//
+// The engine is built for determinism: Map collects results by index, so
+// the assembled output of a parallel run is bit-identical to the serial
+// one, and a pool of size 1 *is* the serial engine (same loop, same
+// early-exit semantics). The pool size comes from SetWorkers, the
+// POLY_WORKERS environment variable, or runtime.NumCPU(), in that order.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the SetWorkers value; 0 means "use the default".
+var workerOverride atomic.Int32
+
+// Workers returns the pool size used when ForEach/Map are called without
+// an explicit worker count: the last SetWorkers value if positive, else
+// the POLY_WORKERS environment variable if set to a positive integer,
+// else runtime.NumCPU().
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	if s := os.Getenv("POLY_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers fixes the default pool size process-wide. n = 1 reproduces
+// the serial engine exactly; n <= 0 restores the environment/NumCPU
+// default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int32(n))
+}
+
+// ForEach runs fn(0..n-1) on Workers() workers. See ForEachN.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachN(0, n, fn)
+}
+
+// ForEachN runs fn(i) for i in [0, n) on at most `workers` goroutines
+// (Workers() when workers <= 0). Indices are dispatched in ascending
+// order. On the first error no new indices are dispatched; in-flight
+// calls finish, and the error with the lowest index among those recorded
+// is returned. With workers == 1 the loop is strictly sequential and
+// stops at the first error — exactly the serial engine.
+func ForEachN(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs fn(0..n-1) on Workers() workers and returns the results in
+// index order. See MapN.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN[T](0, n, fn)
+}
+
+// MapN is ForEachN with ordered result collection: out[i] is fn(i)'s
+// value regardless of completion order, which is what makes parallel
+// experiment sweeps render identically to serial ones. On error the
+// partial slice is discarded.
+func MapN[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachN(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Memo is a concurrency-safe, singleflight-style memo table: the first
+// goroutine to ask for a key computes it while duplicates block on the
+// same entry and share the result, so concurrent sweeps share work
+// (e.g. maxRPS binary searches, kernel design spaces) instead of
+// duplicating it. Successful results are cached forever; errors are
+// returned to every waiter of that flight but not cached, so a later
+// call retries.
+type Memo[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewMemo returns an empty memo table.
+func NewMemo[V any]() *Memo[V] {
+	return &Memo[V]{m: make(map[string]*memoEntry[V])}
+}
+
+// Do returns the cached value for key, or runs fn exactly once per
+// flight to compute it. fn must not call Do on the same memo with the
+// same key (it would deadlock on itself).
+func (m *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if e, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	m.m[key] = e
+	m.mu.Unlock()
+
+	e.val, e.err = fn()
+	if e.err != nil {
+		m.mu.Lock()
+		delete(m.m, key)
+		m.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Len reports the number of completed-or-in-flight keys.
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+// Reset drops every cached entry. In-flight computations are unaffected
+// (their waiters still receive the shared result); the next Do for any
+// key recomputes. Intended for tests and benchmarks that compare a cold
+// serial run against a cold parallel run.
+func (m *Memo[V]) Reset() {
+	m.mu.Lock()
+	m.m = make(map[string]*memoEntry[V])
+	m.mu.Unlock()
+}

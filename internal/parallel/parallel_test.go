@@ -1,0 +1,216 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	const n = 200
+	out, err := MapN(8, n, func(i int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond) // shuffle completion order
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("len = %d, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	err := ForEachN(workers, 60, func(i int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent calls, bound is %d", m, workers)
+	}
+}
+
+func TestCancellationOnFirstError(t *testing.T) {
+	const n = 10000
+	boom := errors.New("boom")
+	var started atomic.Int32
+	err := ForEachN(4, n, func(i int) error {
+		started.Add(1)
+		if i >= 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// After the first error no new indices are dispatched: far fewer than
+	// n calls may start (at most the handful already pulled by workers).
+	if s := started.Load(); s >= n/2 {
+		t.Fatalf("%d of %d tasks started after early error", s, n)
+	}
+}
+
+func TestSerialPoolMatchesSerialLoop(t *testing.T) {
+	var order []int
+	err := ForEachN(1, 10, func(i int) error {
+		order = append(order, i)
+		if i == 6 {
+			return fmt.Errorf("stop at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "stop at 6" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(order) != 7 {
+		t.Fatalf("executed %d calls, want exactly 7 (0..6)", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: workers=1 must be strictly sequential", i, v)
+		}
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	// Every index fails; the returned error must carry the lowest index
+	// among the recorded failures, which with a gate releasing all workers
+	// at once is deterministic enough to assert it is a small index.
+	err := ForEachN(4, 4, func(i int) error {
+		return fmt.Errorf("err-%d", i)
+	})
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	// All four indices are dispatched before any error is recorded is not
+	// guaranteed, but the recorded minimum can never exceed the first
+	// dispatched batch.
+	if err.Error() != "err-0" && err.Error() != "err-1" && err.Error() != "err-2" && err.Error() != "err-3" {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestForEachDegenerateInputs(t *testing.T) {
+	if err := ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal("n=0 must be a no-op")
+	}
+	if err := ForEachN(99, 2, func(int) error { return nil }); err != nil {
+		t.Fatal("workers > n must clamp, not fail")
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo[int]()
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	const waiters = 32
+	results := make([]int, waiters)
+	for g := 0; g < waiters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do("k", func() (int, error) {
+				calls.Add(1)
+				time.Sleep(5 * time.Millisecond) // let duplicates pile up
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}()
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times, want 1", c)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", g, v)
+		}
+	}
+	if m.Len() != 1 {
+		t.Fatalf("memo holds %d keys, want 1", m.Len())
+	}
+}
+
+func TestMemoCachesAcrossCalls(t *testing.T) {
+	m := NewMemo[string]()
+	var calls int
+	for i := 0; i < 3; i++ {
+		v, err := m.Do("key", func() (string, error) {
+			calls++
+			return "value", nil
+		})
+		if err != nil || v != "value" {
+			t.Fatalf("Do = %q, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+func TestMemoErrorsNotCached(t *testing.T) {
+	m := NewMemo[int]()
+	fail := true
+	do := func() (int, error) {
+		if fail {
+			return 0, errors.New("transient")
+		}
+		return 7, nil
+	}
+	if _, err := m.Do("k", do); err == nil {
+		t.Fatal("first call must fail")
+	}
+	fail = false
+	v, err := m.Do("k", do)
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v; errors must not be cached", v, err)
+	}
+}
+
+func TestWorkersKnob(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	t.Setenv("POLY_WORKERS", "5")
+	if Workers() != 5 {
+		t.Fatalf("Workers = %d with POLY_WORKERS=5", Workers())
+	}
+	t.Setenv("POLY_WORKERS", "bogus")
+	if Workers() < 1 {
+		t.Fatal("Workers must fall back to NumCPU on a bad env value")
+	}
+	SetWorkers(2)
+	if Workers() != 2 {
+		t.Fatal("SetWorkers must take precedence over the environment")
+	}
+}

@@ -191,7 +191,11 @@ func (sv *Server) admit() {
 		return
 	}
 	sv.inFlight++
-	for _, a := range plan.Assignments {
+	// Walk assignments in planned start order: when a plan places two
+	// kernels on the same board, the later one's bitstream is the
+	// residency the board ends up with. (plan.Assignments is a map —
+	// ranging over it directly would make the winner random.)
+	for _, a := range plan.Order() {
 		if a.Impl.Platform == device.FPGA {
 			sv.intended[a.Device] = sched.ImplID(a.Impl)
 		}
