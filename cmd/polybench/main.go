@@ -16,6 +16,7 @@ import (
 
 	"poly/internal/exp"
 	"poly/internal/parallel"
+	"poly/internal/prof"
 )
 
 func main() {
@@ -24,8 +25,16 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
 	workers := flag.Int("workers", 0,
 		"worker-pool size for sweeps and DSE (0 = POLY_WORKERS or NumCPU, 1 = serial engine; output is identical at any size)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polybench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	emit := func(r exp.Result) {
 		if *asJSON {

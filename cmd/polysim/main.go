@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"poly"
+	"poly/internal/prof"
 	"poly/internal/runtime"
 	"poly/internal/sim"
 )
@@ -26,7 +27,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	useTrace := flag.Bool("trace", false, "replay the 24 h utilization trace (compressed to 10 min) instead of constant load")
 	setting := flag.String("setting", "I", "hardware setting: I, II, or III")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
+	prof.Serve(*pprofAddr)
 
 	arch, err := pickArch(*archName)
 	if err != nil {

@@ -680,7 +680,7 @@ func scheduleASR() (Result, error) {
 		}
 		if i < len(kernels) {
 			if im := sc.PreferredFPGAImpl(kernels[i].Name); im != nil {
-				d.LoadedImpl = sched.ImplID(im)
+				d.LoadedImpl = im.ID
 			}
 		}
 		devs = append(devs, d)

@@ -135,6 +135,7 @@ func EvaluateFPGA(ka *analysis.Kernel, cfg opt.Config, spec device.FPGASpec) (*I
 		// Pipelined: steady-state energy per request is power × interval.
 		im.EnergyMJ = powerW * intervalMS
 	}
+	im.EnsureID()
 	return im, nil
 }
 

@@ -108,5 +108,6 @@ func EvaluateGPU(ka *analysis.Kernel, cfg opt.Config, spec device.GPUSpec) (*Imp
 		ResourceFrac:  clamp01(laneFill * occ),
 	}
 	im.EnergyMJ = powerW * batchMS / b
+	im.EnsureID()
 	return im, nil
 }

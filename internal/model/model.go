@@ -36,6 +36,15 @@ type Impl struct {
 	// Config is the directive assignment that produced this point.
 	Config opt.Config
 
+	// ID is the interned canonical identity "kernel|board|config",
+	// assigned once when a model evaluation builds the Impl. Every
+	// consumer that needs the identity (batching, reconfiguration,
+	// residency keys) reads this field instead of re-rendering the
+	// config, which keeps the scheduler's inner loops format-free.
+	// Impls shared through cached design spaces are immutable, so the
+	// field is never written after Evaluate returns.
+	ID string
+
 	// LatencyMS is the end-to-end single-request execution latency
 	// (for GPU batched configs: the full batch completes together, so
 	// every request in the batch observes this latency).
@@ -54,6 +63,17 @@ type Impl struct {
 	// BRAM) or GPU occupancy — used by the power model and by Table II
 	// style reporting.
 	ResourceFrac float64
+}
+
+// EnsureID assigns the canonical interned identity if it is unset and
+// returns it. The model evaluators call this at construction; tests that
+// build Impls by hand may call it to opt into interning. It must not be
+// called on Impls that are already shared across goroutines.
+func (im *Impl) EnsureID() string {
+	if im.ID == "" {
+		im.ID = im.Kernel + "|" + im.Board + "|" + im.Config.String()
+	}
+	return im.ID
 }
 
 // EfficiencyRPSPerW is throughput per watt, the energy-efficiency axis of

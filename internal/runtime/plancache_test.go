@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"poly/internal/cluster"
+	"poly/internal/sched"
+	"poly/internal/sim"
+)
+
+// polySession builds a Heter-Poly serving session whose scheduler has the
+// given plan-cache capacity (< 0 keeps the default). NewSession hides the
+// planner, so equivalence tests wire the server by hand.
+func polySession(tb testing.TB, b Bench, cacheCap int, opts Options) *Server {
+	tb.Helper()
+	plan, err := cluster.Provision(cluster.Config{
+		Arch: cluster.HeterPoly, Setting: b.Setting, PowerCapW: 500,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	node := cluster.Build(sim.New(), plan)
+	pl, err := sched.New(b.Prog, b.Spaces)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if cacheCap >= 0 {
+		pl.SetPlanCacheCapacity(cacheCap)
+	}
+	opts.Governor = true
+	sv, err := NewServer(node, b.Prog, pl, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sv
+}
+
+// TestServeCachedMatchesUncached replays the same Poisson trace through
+// two identical sessions — plan cache on vs off — and requires the runs to
+// be indistinguishable: bit-identical latency samples, power series, task
+// mix, reconfiguration count, and energy. This is the end-to-end form of
+// the memoization soundness contract: if any cached plan differed from
+// cold planning, the event-driven simulation would diverge and some series
+// below would split.
+func TestServeCachedMatchesUncached(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	const (
+		rps        = 40.0
+		durationMS = 20000.0
+		seed       = 7
+	)
+	warm := 0.2 * durationMS
+
+	run := func(cacheCap int) (Result, []float64, int, int) {
+		sv := polySession(t, b, cacheCap, Options{WarmupMS: warm})
+		NewWorkload(seed).InjectPoisson(sv, rps, 0, sim.Time(durationMS))
+		res := sv.Collect()
+		h, m := sv.PlannerCacheStats()
+		return res, sv.LatencySamples(), h, m
+	}
+
+	resC, latC, hits, misses := run(-1) // default cache
+	resU, latU, hu, mu := run(0)        // disabled
+	if hu != 0 || mu != 0 {
+		t.Fatalf("uncached session recorded cache traffic: hits=%d misses=%d", hu, mu)
+	}
+
+	if resC.Arrivals != resU.Arrivals || resC.Completed != resU.Completed ||
+		resC.Measured != resU.Measured || resC.Violations != resU.Violations ||
+		resC.PlanErrors != resU.PlanErrors {
+		t.Fatalf("request accounting diverged:\n  cached:   %+v\n  uncached: %+v", resC, resU)
+	}
+	if resC.GPUTasks != resU.GPUTasks || resC.FPGATasks != resU.FPGATasks ||
+		resC.Reconfigs != resU.Reconfigs {
+		t.Fatalf("task mix diverged: GPU %d/%d, FPGA %d/%d, reconfigs %d/%d",
+			resC.GPUTasks, resU.GPUTasks, resC.FPGATasks, resU.FPGATasks,
+			resC.Reconfigs, resU.Reconfigs)
+	}
+	if math.Float64bits(resC.EnergyMJ) != math.Float64bits(resU.EnergyMJ) ||
+		math.Float64bits(resC.DurationMS) != math.Float64bits(resU.DurationMS) {
+		t.Fatalf("energy accounting diverged: %.9f mJ / %.3f ms vs %.9f mJ / %.3f ms",
+			resC.EnergyMJ, resC.DurationMS, resU.EnergyMJ, resU.DurationMS)
+	}
+
+	if len(latC) != len(latU) {
+		t.Fatalf("latency sample counts diverged: %d vs %d", len(latC), len(latU))
+	}
+	// Collect ran the same percentile queries on both samples, so both are
+	// in the same (sorted) order; compare bitwise.
+	for i := range latC {
+		if math.Float64bits(latC[i]) != math.Float64bits(latU[i]) {
+			t.Fatalf("latency sample %d diverged: %v vs %v", i, latC[i], latU[i])
+		}
+	}
+
+	if resC.Power.Len() != resU.Power.Len() {
+		t.Fatalf("power series lengths diverged: %d vs %d", resC.Power.Len(), resU.Power.Len())
+	}
+	for i := range resC.Power.Times {
+		if resC.Power.Times[i] != resU.Power.Times[i] ||
+			math.Float64bits(resC.Power.Values[i]) != math.Float64bits(resU.Power.Values[i]) {
+			t.Fatalf("power series diverged at %d: (%v, %v) vs (%v, %v)", i,
+				resC.Power.Times[i], resC.Power.Values[i],
+				resU.Power.Times[i], resU.Power.Values[i])
+		}
+	}
+
+	// The trace must actually exercise the cache. (A Poisson process
+	// presents continuously-valued backlogs, so hits come only from the
+	// recurring idle/light signatures — the >50 % steady-state hit-rate
+	// requirement is asserted under constant-interval load, where the
+	// admission-time state genuinely recurs; see TestServeConstantLoadHitRate.)
+	if hits == 0 {
+		t.Fatalf("cached session never hit (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+// TestServeConstantLoadHitRate checks the cache earns its keep on the
+// workload it targets: a steady constant-interval load, where after warmup
+// the node presents a recurring admission-time signature. The paper's
+// motivation study drives exactly this shape ("requests ... sent in a
+// constant interval").
+func TestServeConstantLoadHitRate(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	sv := polySession(t, b, -1, Options{WarmupMS: 4000})
+	NewWorkload(1).InjectConstant(sv, 40, 0, 20000)
+	res := sv.Collect()
+	if res.PlanErrors != 0 {
+		t.Fatalf("%d plan errors", res.PlanErrors)
+	}
+	hits, misses := sv.PlannerCacheStats()
+	if hits+misses == 0 {
+		t.Fatal("nothing planned")
+	}
+	if rate := float64(hits) / float64(hits+misses); rate < 0.5 {
+		t.Fatalf("steady-state hit rate %.2f below 0.5 (hits=%d misses=%d)", rate, hits, misses)
+	}
+}
+
+// BenchmarkServeSteadyState measures one whole constant-load serving run —
+// admission, planning, device simulation, and drain — which is the
+// composite the plan cache exists to speed up. hitRate reports the plan
+// cache's share of planning calls served from memory.
+func BenchmarkServeSteadyState(b *testing.B) {
+	bench := benches(b, "ASR")[cluster.HeterPoly]
+	const (
+		rps        = 40.0
+		durationMS = 5000.0
+	)
+	var hits, misses int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv := polySession(b, bench, -1, Options{WarmupMS: 1000})
+		NewWorkload(1).InjectConstant(sv, rps, 0, sim.Time(durationMS))
+		res := sv.Collect()
+		if res.PlanErrors != 0 {
+			b.Fatalf("%d plan errors", res.PlanErrors)
+		}
+		hits, misses = sv.PlannerCacheStats()
+	}
+	b.StopTimer()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hitRate")
+	}
+}

@@ -13,7 +13,7 @@ import (
 )
 
 // benches builds the three architectures for one app on Setting-I.
-func benches(t *testing.T, appName string) map[cluster.Architecture]Bench {
+func benches(t testing.TB, appName string) map[cluster.Architecture]Bench {
 	t.Helper()
 	app, ok := apps.ByName(appName)
 	if !ok {

@@ -86,6 +86,10 @@ type Server struct {
 	// overlapping requests from claiming the same blank board for
 	// different kernels and ping-ponging reconfigurations forever.
 	intended map[string]string
+	// devScratch is the reusable device-state snapshot buffer: admit
+	// runs once per request, and both planners copy the slice before
+	// retaining anything, so the snapshot never needs to survive a call.
+	devScratch []sched.DeviceState
 }
 
 // NewServer wires an application and planner onto a node.
@@ -125,9 +129,10 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 func (sv *Server) Bound() float64 { return sv.opts.BoundMS }
 
 // deviceStates snapshots the node for the scheduler (Eq. 4 inputs).
+// The returned slice is scratch reused across admits.
 func (sv *Server) deviceStates() []sched.DeviceState {
 	now := sv.sim.Now()
-	var out []sched.DeviceState
+	out := sv.devScratch[:0]
 	for _, g := range sv.node.GPUs {
 		out = append(out, sched.DeviceState{
 			Name:      g.Name(),
@@ -150,6 +155,7 @@ func (sv *Server) deviceStates() []sched.DeviceState {
 			FreqScale:  1,
 		})
 	}
+	sv.devScratch = out
 	return out
 }
 
@@ -197,7 +203,7 @@ func (sv *Server) admit() {
 	// ranging over it directly would make the winner random.)
 	for _, a := range plan.Order() {
 		if a.Impl.Platform == device.FPGA {
-			sv.intended[a.Device] = sched.ImplID(a.Impl)
+			sv.intended[a.Device] = a.Impl.ID
 		}
 	}
 	r := &request{
@@ -241,7 +247,7 @@ func (r *request) submit(kernel string) {
 	}
 	task := &device.Task{
 		Kernel:     kernel,
-		ImplID:     sched.ImplID(a.Impl),
+		ImplID:     a.Impl.ID,
 		LatencyMS:  a.Impl.LatencyMS,
 		IntervalMS: a.Impl.IntervalMS,
 		Batch:      a.Impl.Config.Batch,
@@ -412,7 +418,7 @@ func (sv *Server) provisionBitstreams() {
 		if im == nil {
 			continue
 		}
-		if id := sched.ImplID(im); !resident[id] && boardKernels[k.Name] == 0 {
+		if id := im.ID; !resident[id] && boardKernels[k.Name] == 0 {
 			missing = append(missing, id)
 		}
 	}
@@ -441,6 +447,22 @@ func (sv *Server) provisionBitstreams() {
 			missing = missing[1:]
 		}
 	}
+}
+
+// LatencySamples returns the post-warmup request latencies observed so
+// far, in the sample's internal order (Percentile queries may sort it in
+// place). Cached-vs-uncached equivalence tests compare these bitwise.
+func (sv *Server) LatencySamples() []float64 { return sv.latencies.Values() }
+
+// PlannerCacheStats reports the planner's plan-cache hit/miss counters
+// when the planner memoizes (both the dynamic scheduler and the static
+// baselines do), or zeros otherwise.
+func (sv *Server) PlannerCacheStats() (hits, misses int) {
+	type cacheStats interface{ PlanCacheStats() (int, int) }
+	if cs, ok := sv.planner.(cacheStats); ok {
+		return cs.PlanCacheStats()
+	}
+	return 0, 0
 }
 
 // latencyPressure reports whether the previous monitoring window's tail

@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -66,6 +67,12 @@ func (d *DeviceState) availableAt(implID string) float64 {
 	return d.FreeAtMS
 }
 
+// sameImpl reports whether im is the device's resident implementation,
+// comparing interned IDs without rendering anything.
+func (d *DeviceState) sameImpl(im *model.Impl) bool {
+	return d.LoadedImpl != "" && d.LoadedImpl == ImplID(im)
+}
+
 func (d *DeviceState) freq() float64 {
 	if d.FreqScale <= 0 {
 		return 1
@@ -77,7 +84,7 @@ func (d *DeviceState) freq() float64 {
 // including a reconfiguration penalty when the resident bitstream differs.
 func (d *DeviceState) execMS(im *model.Impl) float64 {
 	t := im.LatencyMS / d.freq()
-	if d.Class == device.FPGA && d.LoadedImpl != ImplID(im) {
+	if d.Class == device.FPGA && !d.sameImpl(im) {
 		t += d.ReconfigMS
 	}
 	return t
@@ -99,16 +106,23 @@ func (d *DeviceState) commitMS(im *model.Impl, fill float64) float64 {
 	if ii <= 0 || ii > lat {
 		ii = lat
 	}
-	if d.LoadedImpl != ImplID(im) {
+	if !d.sameImpl(im) {
 		ii += d.ReconfigMS
 	}
 	return ii
 }
 
 // ImplID is the canonical identity of an implementation, shared with the
-// device simulators (batching and reconfiguration key).
+// device simulators (batching and reconfiguration key). It is a thin
+// accessor over the interned model.Impl.ID — every Impl built by the
+// model evaluators carries its identity precomputed, so this is a field
+// read on the hot path. Hand-constructed Impls (tests) fall back to
+// rendering the identity without interning it.
 func ImplID(im *model.Impl) string {
-	return fmt.Sprintf("%s|%s|%s", im.Kernel, im.Board, im.Config)
+	if im.ID != "" {
+		return im.ID
+	}
+	return im.Kernel + "|" + im.Board + "|" + im.Config.String()
 }
 
 // Assignment is one kernel's placement in a plan.
@@ -140,13 +154,24 @@ type Plan struct {
 	BoundMS float64
 	// EnergySwaps counts Step-2 implementation replacements applied.
 	EnergySwaps int
+	// order caches Order()'s result. The planners replace the whole Plan
+	// value when they revise a plan (which resets the cache to nil), and
+	// finished plans are immutable, so the cache can never go stale.
+	// Callers must treat the returned slice as read-only.
+	order []*Assignment
 }
 
 // SlackMS returns LB − L (negative when the bound is missed).
 func (p *Plan) SlackMS() float64 { return p.BoundMS - p.MakespanMS }
 
-// Order returns the kernels sorted by planned start time.
+// Order returns the kernels sorted by planned start time. The sorted
+// slice is computed once and cached: the serving loop walks every
+// admitted request's plan in start order, and re-sorting per admit was
+// measurable at trace-replay scale. Callers must not mutate the result.
 func (p *Plan) Order() []*Assignment {
+	if p.order != nil && len(p.order) == len(p.Assignments) {
+		return p.order
+	}
 	out := make([]*Assignment, 0, len(p.Assignments))
 	for _, a := range p.Assignments {
 		out = append(out, a)
@@ -157,6 +182,7 @@ func (p *Plan) Order() []*Assignment {
 		}
 		return out[i].Kernel < out[j].Kernel
 	})
+	p.order = out
 	return out
 }
 
@@ -187,6 +213,25 @@ type Scheduler struct {
 	// implByID resolves implementation identities, used to recognize the
 	// bitstream already resident on an FPGA (stickiness).
 	implByID map[string]*model.Impl
+	// gpuCands precomputes the Step-1 GPU candidate list per kernel
+	// (min-latency variant plus, when distinct, the max-throughput
+	// batched variant) so placement loops never allocate or rescan the
+	// frontier.
+	gpuCands map[string][]*model.Impl
+
+	// cache memoizes full plans by exact device-state + mode signature;
+	// nil when disabled. keyBuf is the reused key scratch buffer.
+	cache  *PlanCache
+	keyBuf []byte
+	// scratchBase/scratchWork are the per-call device working copies,
+	// reused across Schedule calls so steady serving allocates nothing
+	// for device bookkeeping.
+	scratchBase, scratchWork []DeviceState
+	// resimDevs and resimPin are resimulate's reusable scratch state;
+	// swapsBuf backs rankedSwaps' candidate list.
+	resimDevs []DeviceState
+	resimPin  map[string]swapCandidate
+	swapsBuf  []rankedSwap
 }
 
 // New builds a scheduler for a program and its explored design spaces.
@@ -200,7 +245,10 @@ func New(prog *opencl.Program, spaces *dse.KernelSpaces) (*Scheduler, error) {
 		}
 	}
 	s := &Scheduler{prog: prog, spaces: spaces, pcie: device.DefaultPCIe, slack: defaultSlackFactor,
-		implByID: make(map[string]*model.Impl)}
+		implByID: make(map[string]*model.Impl),
+		gpuCands: make(map[string][]*model.Impl),
+		resimPin: make(map[string]swapCandidate),
+		cache:    newPlanCache(defaultPlanCacheCapacity)}
 	for _, k := range prog.Kernels() {
 		for _, class := range []device.Class{device.GPU, device.FPGA} {
 			if sp := spaces.Space(k.Name, class); sp != nil {
@@ -209,10 +257,31 @@ func New(prog *opencl.Program, spaces *dse.KernelSpaces) (*Scheduler, error) {
 				}
 			}
 		}
+		if sp := spaces.Space(k.Name, device.GPU); sp != nil && len(sp.Pareto) > 0 {
+			cands := sp.Pareto[:1]
+			if thr := sp.MaxThroughput(); thr != nil && thr != sp.Pareto[0] {
+				cands = []*model.Impl{sp.Pareto[0], thr}
+			}
+			s.gpuCands[k.Name] = cands
+		}
 	}
 	s.computePriorities()
 	return s, nil
 }
+
+// SetPlanCacheCapacity resizes the plan cache to hold up to n memoized
+// plans (dropping all current entries and counters); n <= 0 disables
+// caching entirely, which is useful for equivalence testing and for
+// callers that present never-repeating device states.
+func (s *Scheduler) SetPlanCacheCapacity(n int) { s.cache = newPlanCache(n) }
+
+// PlanCacheStats reports the plan cache's hit/miss counters (zeros when
+// the cache is disabled).
+func (s *Scheduler) PlanCacheStats() (hits, misses int) { return s.cache.Stats() }
+
+// PlanCacheLen reports how many distinct device-state signatures are
+// currently memoized.
+func (s *Scheduler) PlanCacheLen() int { return s.cache.Len() }
 
 // defaultSlackFactor leaves 30 % of the bound as queueing headroom.
 const defaultSlackFactor = 0.6
@@ -244,12 +313,16 @@ func (s *Scheduler) SetThroughputMode(on bool) { s.tpMode = on }
 func (s *Scheduler) ThroughputMode() bool { return s.tpMode }
 
 // SetLoadHint feeds the monitor's arrival-rate estimate (requests per
-// second) into the scheduler's batch-fill predictions.
+// second) into the scheduler's batch-fill predictions. The hint is
+// quantized to whole RPS: the monitor's estimate is integral arrivals
+// over a fixed window (so quantization is exact for the governor), and
+// bucketing keeps float jitter in ad-hoc hints from fragmenting the
+// plan-cache key space.
 func (s *Scheduler) SetLoadHint(rps float64) {
 	if rps < 0 {
 		rps = 0
 	}
-	s.loadRPS = rps
+	s.loadRPS = math.Round(rps)
 }
 
 // batchCap returns the implementation's full batch capacity as a float.
@@ -394,6 +467,13 @@ func (s *Scheduler) candidates(kernel string, class device.Class) []*model.Impl 
 // node's current state; boundMS is the application's latency bound LB
 // (≤0 uses the program's bound). The returned plan never violates a bound
 // that Step 1 alone could meet.
+//
+// Plans are memoized: when the node presents a device-state signature the
+// scheduler has planned before — under the same bound, load hint, slack,
+// and throughput mode — the cached plan is returned (as a deep copy) and
+// is bit-identical to what a cold planning run would produce, because
+// planning is a pure function of exactly those inputs and all times are
+// relative to the planning instant.
 func (s *Scheduler) Schedule(devices []DeviceState, boundMS float64) (*Plan, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("sched: no devices")
@@ -401,10 +481,50 @@ func (s *Scheduler) Schedule(devices []DeviceState, boundMS float64) (*Plan, err
 	if boundMS <= 0 {
 		boundMS = s.prog.LatencyBoundMS
 	}
+	if s.cache == nil {
+		return s.scheduleCold(devices, boundMS)
+	}
+	key := s.planKey(devices, boundMS)
+	if hit := s.cache.get(key); hit != nil {
+		return hit.clone(), nil
+	}
+	plan, err := s.scheduleCold(devices, boundMS)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-sort before caching so every hit's clone carries the start
+	// order and the serving loop never re-sorts.
+	plan.Order()
+	s.cache.put(key, plan.clone())
+	return plan, nil
+}
+
+// planKey renders the exact planning signature into the reused key
+// buffer: mode fields first, then the device vector.
+func (s *Scheduler) planKey(devices []DeviceState, boundMS float64) []byte {
+	b := s.keyBuf[:0]
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(boundMS))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.loadRPS))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.slack))
+	if s.tpMode {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendPlanKeyDevices(b, devices)
+	s.keyBuf = b
+	return b
+}
+
+// scheduleCold runs the real two-step planner.
+func (s *Scheduler) scheduleCold(devices []DeviceState, boundMS float64) (*Plan, error) {
 	// Work on copies: planning must not mutate the caller's device view,
-	// and Step 2 replays placements from the same initial state.
-	base := append([]DeviceState(nil), devices...)
-	work := append([]DeviceState(nil), devices...)
+	// and Step 2 replays placements from the same initial state. The
+	// copies live in reusable scratch buffers — nothing below retains
+	// them past the call.
+	base := append(s.scratchBase[:0], devices...)
+	work := append(s.scratchWork[:0], devices...)
+	s.scratchBase, s.scratchWork = base, work
 
 	// Step 1 — latency optimization.
 	choice := make(map[string]*Assignment, len(s.order))
@@ -451,14 +571,14 @@ func (s *Scheduler) repairLatency(p *Plan, base []DeviceState) {
 				// under load must not flood the GPU with unbatchable
 				// single-request launches), and only the resident
 				// bitstream on FPGAs already serving this kernel.
+				var candBuf [1]*model.Impl
 				cands := all[:1]
 				if d.Class == device.GPU {
-					if thr := s.spaces.Space(kernel, device.GPU).MaxThroughput(); thr != nil && thr != all[0] {
-						cands = []*model.Impl{all[0], thr}
-					}
+					cands = s.gpuCands[kernel]
 				}
 				if res := s.resident(kernel, d); res != nil {
-					cands = []*model.Impl{res}
+					candBuf[0] = res
+					cands = candBuf[:1]
 				} else if d.Class == device.FPGA && d.LoadedImpl != "" {
 					if other := s.implByID[d.LoadedImpl]; other != nil && other.Kernel != kernel {
 						continue // repair must not evict live bitstreams either
@@ -515,8 +635,18 @@ func (s *Scheduler) placeEFT(kernel string, devices []DeviceState, choice map[st
 }
 
 func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice map[string]*Assignment, allowEvict bool) *Assignment {
-	var best *Assignment
-	bestScore := math.Inf(1)
+	// Track the best placement in locals and allocate the Assignment once
+	// at the end: the inner loop runs per (device, candidate) for every
+	// kernel of every request, and an allocation per improvement was a
+	// measurable share of planning garbage.
+	var (
+		found                bool
+		bestScore            = math.Inf(1)
+		bestImpl             *model.Impl
+		bestDev              string
+		bestEst, bestEnd     float64
+		bestExec, bestCommit float64
+	)
 	for di := range devices {
 		d := &devices[di]
 		impls := s.candidates(kernel, d.Class)
@@ -532,14 +662,14 @@ func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice m
 		// used as-is: replacing a working bitstream with a marginally
 		// different one would pay an 80 ms reconfiguration every time two
 		// variants alternate.
+		var candBuf [1]*model.Impl
 		cands := impls[:1]
 		if d.Class == device.GPU {
-			if thr := s.spaces.Space(kernel, device.GPU).MaxThroughput(); thr != nil && thr != impls[0] {
-				cands = []*model.Impl{impls[0], thr}
-			}
+			cands = s.gpuCands[kernel]
 		}
 		if res := s.resident(kernel, d); res != nil {
-			cands = []*model.Impl{res}
+			candBuf[0] = res
+			cands = candBuf[:1]
 		} else if d.Class == device.FPGA && !allowEvict && d.LoadedImpl != "" {
 			if other := s.implByID[d.LoadedImpl]; other != nil && other.Kernel != kernel {
 				continue // never evict a live bitstream in the first pass
@@ -560,21 +690,27 @@ func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice m
 			if s.tpMode {
 				commitWeight = 2
 			}
-			score := end + commitWeight*d.commitMS(im, batchCap(im))
+			commit := d.commitMS(im, batchCap(im))
+			score := end + commitWeight*commit
 			if d.Class == device.FPGA && d.LoadedImpl != "" {
 				if other := s.implByID[d.LoadedImpl]; other != nil && other.Kernel != kernel {
 					score += d.ReconfigMS
 				}
 			}
-			if best == nil || score < bestScore {
-				best = &Assignment{Kernel: kernel, Impl: im, Device: d.Name,
-					StartMS: est, EndMS: end, ExecMS: im.LatencyMS / d.freq(),
-					CommitMS: d.commitMS(im, batchCap(im))}
+			if !found || score < bestScore {
+				found = true
 				bestScore = score
+				bestImpl, bestDev = im, d.Name
+				bestEst, bestEnd = est, end
+				bestExec, bestCommit = im.LatencyMS/d.freq(), commit
 			}
 		}
 	}
-	return best
+	if !found {
+		return nil
+	}
+	return &Assignment{Kernel: kernel, Impl: bestImpl, Device: bestDev,
+		StartMS: bestEst, EndMS: bestEnd, ExecMS: bestExec, CommitMS: bestCommit}
 }
 
 // estMS computes the predecessor-readiness part of EST(k_i, d_n)
@@ -688,9 +824,11 @@ type rankedSwap struct {
 
 // rankedSwaps enumerates per-kernel replacement candidates and sorts them
 // by descending W_E (Eq. 5): the (ΔP × ΔT) potential of trading latency
-// for power. Only genuinely energy-saving replacements qualify.
+// for power. Only genuinely energy-saving replacements qualify. The
+// returned slice is scratch owned by the scheduler: it is only read
+// within one optimizeEnergy round and reused by the next call.
 func (s *Scheduler) rankedSwaps(p *Plan, devices []DeviceState) []rankedSwap {
-	var out []rankedSwap
+	out := s.swapsBuf[:0]
 	for _, kernel := range s.order {
 		a := p.Assignments[kernel]
 		if a == nil {
@@ -751,6 +889,7 @@ func (s *Scheduler) rankedSwaps(p *Plan, devices []DeviceState) []rankedSwap {
 		}
 		return out[i].device < out[j].device
 	})
+	s.swapsBuf = out
 	return out
 }
 
@@ -758,8 +897,12 @@ func (s *Scheduler) rankedSwaps(p *Plan, devices []DeviceState) []rankedSwap {
 // list scheduling for start/end bookkeeping on a fresh copy of the
 // initial device states.
 func (s *Scheduler) resimulate(p *Plan, base []DeviceState, kernel string, cand swapCandidate) *Plan {
-	devs := append([]DeviceState(nil), base...)
-	pin := make(map[string]swapCandidate, len(p.Assignments))
+	// devs and pin are scheduler-owned scratch: resimulate runs inside
+	// tight repair/energy loops and nothing retains either past the call.
+	devs := append(s.resimDevs[:0], base...)
+	s.resimDevs = devs
+	pin := s.resimPin
+	clear(pin)
 	for k, a := range p.Assignments {
 		pin[k] = swapCandidate{impl: a.Impl, device: a.Device}
 	}

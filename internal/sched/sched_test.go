@@ -54,7 +54,7 @@ edge k2 -> k3 bytes=2048
 edge k3 -> k4 bytes=512
 `
 
-func buildSched(t *testing.T) (*Scheduler, *opencl.Program, *dse.KernelSpaces) {
+func buildSched(t testing.TB) (*Scheduler, *opencl.Program, *dse.KernelSpaces) {
 	t.Helper()
 	prog := opencl.MustParse(asrSrc)
 	pa, err := analysis.AnalyzeProgram(prog, analysis.Options{})

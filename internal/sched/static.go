@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -35,6 +36,13 @@ type StaticPlanner struct {
 	// impls is the fixed kernel → implementation mapping.
 	impls map[string]*model.Impl
 	order []string
+
+	// cache memoizes plans by exact device-state signature — the static
+	// planner has no mode knobs, so the key is just (bound, devices).
+	cache  *PlanCache
+	keyBuf []byte
+	// scratchWork is the reusable per-call device working copy.
+	scratchWork []DeviceState
 }
 
 // NewStatic builds the baseline planner for one accelerator family.
@@ -46,7 +54,8 @@ func NewStatic(prog *opencl.Program, spaces *dse.KernelSpaces, class device.Clas
 	if err != nil {
 		return nil, err
 	}
-	sp := &StaticPlanner{prog: prog, class: class, impls: make(map[string]*model.Impl), order: topo}
+	sp := &StaticPlanner{prog: prog, class: class, impls: make(map[string]*model.Impl), order: topo,
+		cache: newPlanCache(defaultPlanCacheCapacity)}
 
 	pick := func(mode StaticMode) (map[string]*model.Impl, error) {
 		out := make(map[string]*model.Impl, len(topo))
@@ -186,14 +195,42 @@ func (sp *StaticPlanner) partition(devices []DeviceState) map[string]map[string]
 	return out
 }
 
+// SetPlanCacheCapacity resizes the plan cache (n <= 0 disables it).
+func (sp *StaticPlanner) SetPlanCacheCapacity(n int) { sp.cache = newPlanCache(n) }
+
+// PlanCacheStats reports the plan cache's hit/miss counters.
+func (sp *StaticPlanner) PlanCacheStats() (hits, misses int) { return sp.cache.Stats() }
+
 // Schedule produces the baseline's plan: each kernel goes to the
 // least-loaded device of its dedicated partition with its fixed impl.
+// Like the dynamic scheduler, plans are memoized by exact device-state
+// signature; the static planner is a pure function of (devices, bound).
 func (sp *StaticPlanner) Schedule(devices []DeviceState, boundMS float64) (*Plan, error) {
 	if boundMS <= 0 {
 		boundMS = sp.prog.LatencyBoundMS
 	}
+	if sp.cache == nil {
+		return sp.scheduleCold(devices, boundMS)
+	}
+	key := binary.LittleEndian.AppendUint64(sp.keyBuf[:0], math.Float64bits(boundMS))
+	key = appendPlanKeyDevices(key, devices)
+	sp.keyBuf = key
+	if hit := sp.cache.get(key); hit != nil {
+		return hit.clone(), nil
+	}
+	plan, err := sp.scheduleCold(devices, boundMS)
+	if err != nil {
+		return nil, err
+	}
+	plan.Order()
+	sp.cache.put(key, plan.clone())
+	return plan, nil
+}
+
+func (sp *StaticPlanner) scheduleCold(devices []DeviceState, boundMS float64) (*Plan, error) {
 	part := sp.partition(devices)
-	work := append([]DeviceState(nil), devices...)
+	work := append(sp.scratchWork[:0], devices...)
+	sp.scratchWork = work
 	choice := make(map[string]*Assignment, len(sp.order))
 	for _, k := range sp.order {
 		im := sp.impls[k]

@@ -41,6 +41,12 @@ func (s *Sample) Add(v float64) {
 // Count returns the number of observations.
 func (s *Sample) Count() int { return len(s.values) }
 
+// Values exposes the underlying observations as a read-only view. The
+// order is insertion order until a Percentile query sorts the slice in
+// place; callers comparing two samples for equality should drive both
+// through the same query sequence first (or sort copies themselves).
+func (s *Sample) Values() []float64 { return s.values }
+
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func (s *Sample) Mean() float64 { return s.mean }
 
