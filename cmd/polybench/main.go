@@ -17,6 +17,8 @@ import (
 	"poly/internal/exp"
 	"poly/internal/parallel"
 	"poly/internal/prof"
+	"poly/internal/runtime"
+	"poly/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +29,18 @@ func main() {
 		"worker-pool size for sweeps and DSE (0 = POLY_WORKERS or NumCPU, 1 = serial engine; output is identical at any size)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace JSON of every session the experiment runs (forces -workers 1)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	var rec *telemetry.Recorder
+	if *traceOut != "" {
+		// Experiments build their sessions internally, so tracing goes
+		// through the process-wide default sink — and must run serial, or
+		// parallel sweeps would interleave their timelines in one recorder.
+		parallel.SetWorkers(1)
+		rec = telemetry.New()
+		runtime.SetDefaultTelemetry(rec)
+	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polybench:", err)
@@ -85,5 +97,22 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polybench:", err)
+			os.Exit(1)
+		}
+		werr := rec.WriteTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "polybench:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s (load at https://ui.perfetto.dev)\n",
+			rec.TraceEventCount(), *traceOut)
 	}
 }

@@ -11,12 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"poly"
 	"poly/internal/prof"
 	"poly/internal/runtime"
 	"poly/internal/sim"
+	"poly/internal/telemetry"
 )
 
 func main() {
@@ -29,13 +31,23 @@ func main() {
 	setting := flag.String("setting", "I", "hardware setting: I, II, or III")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (and /metrics with -telemetry) on this address (e.g. localhost:6060)")
+	useTelemetry := flag.Bool("telemetry", false, "record runtime telemetry (metrics + spans)")
+	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace JSON of the run to this file (implies -telemetry)")
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fail(err)
 	}
 	defer stopProf()
+	var rec *telemetry.Recorder
+	if *useTelemetry || *traceOut != "" {
+		rec = telemetry.New()
+		prof.Handle("/metrics", rec.MetricsHandler())
+		if *pprofAddr != "" {
+			fmt.Printf("telemetry: http://%s/metrics (Prometheus text)\n", *pprofAddr)
+		}
+	}
 	prof.Serve(*pprofAddr)
 
 	arch, err := pickArch(*archName)
@@ -55,12 +67,16 @@ func main() {
 		fail(err)
 	}
 
+	var telSink telemetry.Sink
+	if rec != nil {
+		telSink = rec
+	}
 	var res poly.Result
 	if *useTrace {
 		tr := poly.SynthesizeTrace(*seed)
 		const compressedMS = 600_000.0
 		compress := tr.DurationMS() / compressedMS
-		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000})
+		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000, Telemetry: telSink})
 		if err != nil {
 			fail(err)
 		}
@@ -70,20 +86,42 @@ func main() {
 		}, compressedMS, 5_000)
 		res = sv.Collect()
 	} else {
-		res, err = bench.ServeConstantLoad(*rps, float64(duration.Milliseconds()), *seed)
+		res, err = bench.ServeConstantLoadWith(runtime.Options{Telemetry: telSink},
+			*rps, float64(duration.Milliseconds()), *seed)
 		if err != nil {
 			fail(err)
 		}
 	}
 
 	fmt.Printf("%s on %s (%s):\n", *app, arch, st.Name)
-	fmt.Printf("  served      %d requests over %.1f s\n", res.Completed, res.DurationMS/1000)
-	fmt.Printf("  latency     p50 %.1f ms, p99 %.1f ms (bound %.0f ms)\n",
-		res.P50MS, res.P99MS, fw.Program().LatencyBoundMS)
-	fmt.Printf("  violations  %.2f%%\n", 100*res.ViolationRatio())
-	fmt.Printf("  power       %.1f W average, %.0f J total\n", res.AvgPowerW, res.EnergyMJ/1000)
-	fmt.Printf("  placement   %d GPU tasks, %d FPGA tasks, %d reconfigurations\n",
-		res.GPUTasks, res.FPGATasks, res.Reconfigs)
+	fmt.Println(indent(res.String(), "  "))
+	if *traceOut != "" {
+		if err := writeTraceFile(rec, *traceOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d events -> %s (load at https://ui.perfetto.dev)\n",
+			rec.TraceEventCount(), *traceOut)
+		if d := rec.TraceDropped(); d > 0 {
+			fmt.Printf("trace: %d events dropped over the buffer cap\n", d)
+		}
+	}
+}
+
+func writeTraceFile(rec *telemetry.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteTrace(f)
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
 }
 
 func pickArch(s string) (poly.Architecture, error) {

@@ -32,8 +32,27 @@ type Task struct {
 	enqueuedAt sim.Time
 	// PowerW is the board's active power while executing this impl.
 	PowerW float64
+	// OnStart is called when the device begins executing the task (the
+	// launch or pipeline-initiation instant). May be nil; telemetry uses
+	// it to split queue time from service time per request.
+	OnStart func(at sim.Time)
 	// OnDone is called when the task completes. May be nil.
 	OnDone func(at sim.Time)
+}
+
+// Observer receives board-level telemetry events. The runtime attaches
+// one (telemetry.Sink satisfies it structurally); a nil observer costs a
+// device only nil-checks.
+type Observer interface {
+	// Launched reports one physical execution: a (possibly batched) GPU
+	// launch or one FPGA task, with its execution window.
+	Launched(device, kernel, implID string, batch int, start, end sim.Time)
+	// ReconfigStart reports an FPGA bitstream load beginning at `at` and
+	// stalling the board for stallMS; background loads are governor
+	// preloads, foreground ones are paid by a request.
+	ReconfigStart(device, implID string, at sim.Time, stallMS float64, background bool)
+	// DVFSChanged reports a GPU operating-point change.
+	DVFSChanged(device string, level int, at sim.Time)
 }
 
 // Accelerator is a simulated board: it accepts tasks, reports occupancy
@@ -67,9 +86,13 @@ type accelBase struct {
 	power  float64 // instantaneous watts
 	energy float64 // accumulated mJ
 	lastAt sim.Time
+	obs    Observer // nil when telemetry is disabled
 }
 
 func (b *accelBase) Name() string { return b.name }
+
+// SetObserver attaches (or detaches, with nil) a telemetry observer.
+func (b *accelBase) SetObserver(o Observer) { b.obs = o }
 
 // setPower integrates energy up to now and switches the draw level.
 func (b *accelBase) setPower(w float64) {
@@ -143,6 +166,9 @@ func (g *GPUDevice) SetDVFS(level int) {
 	}
 	if level >= len(g.spec.DVFS) {
 		level = len(g.spec.DVFS) - 1
+	}
+	if g.obs != nil && level != g.level {
+		g.obs.DVFSChanged(g.name, level, g.sim.Now())
 	}
 	g.level = level
 	if !g.running {
@@ -248,6 +274,15 @@ func (g *GPUDevice) launch() {
 	g.busyMS += float64(dur)
 	if LaunchTrace != nil {
 		LaunchTrace(g.name, head.Kernel, len(batch), cap, len(keep), float64(dur))
+	}
+	start := g.sim.Now()
+	if g.obs != nil {
+		g.obs.Launched(g.name, head.Kernel, powerRef.ImplID, len(batch), start, start+dur)
+	}
+	for _, t := range batch {
+		if t.OnStart != nil {
+			t.OnStart(start)
+		}
 	}
 	g.running = true
 	active := g.spec.IdlePowerW + (powerRef.PowerW-g.spec.IdlePowerW)*lvl.PowerScale
@@ -370,6 +405,9 @@ func (f *FPGADevice) Preload(implID string) {
 		return
 	}
 	f.reconfigs++
+	if f.obs != nil {
+		f.obs.ReconfigStart(f.name, implID, f.sim.Now(), f.spec.ReconfigMS, true)
+	}
 	f.lowPower = false
 	f.draining = true // block submissions from racing the flash
 	f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
@@ -409,6 +447,9 @@ func (f *FPGADevice) drain() {
 	if f.loaded != t.ImplID {
 		// Reconfigure, then retry the drain.
 		f.reconfigs++
+		if f.obs != nil {
+			f.obs.ReconfigStart(f.name, t.ImplID, f.sim.Now(), f.spec.ReconfigMS, false)
+		}
 		f.lowPower = false
 		f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
 		f.loaded = t.ImplID
@@ -431,6 +472,12 @@ func (f *FPGADevice) drain() {
 	f.inflight++
 	f.setPower(t.PowerW)
 	f.nextInit = now + ii
+	if f.obs != nil {
+		f.obs.Launched(f.name, t.Kernel, t.ImplID, 1, now, now+lat)
+	}
+	if t.OnStart != nil {
+		t.OnStart(now)
+	}
 	f.sim.After(lat, func() {
 		f.inflight--
 		if t.OnDone != nil {

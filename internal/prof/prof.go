@@ -48,6 +48,11 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 	}, nil
 }
 
+// Handle registers an extra handler on the mux Serve uses (the
+// DefaultServeMux) — how cmd/polysim mounts the telemetry /metrics
+// endpoint next to /debug/pprof. Call before Serve.
+func Handle(pattern string, h http.Handler) { http.Handle(pattern, h) }
+
 // Serve starts the net/http/pprof listener on addr (e.g. "localhost:6060")
 // in a background goroutine; empty addr is a no-op. Interactive profiling
 // of a live serve: `go tool pprof http://localhost:6060/debug/pprof/profile`.

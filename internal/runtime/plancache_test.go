@@ -86,8 +86,8 @@ func TestServeCachedMatchesUncached(t *testing.T) {
 	if len(latC) != len(latU) {
 		t.Fatalf("latency sample counts diverged: %d vs %d", len(latC), len(latU))
 	}
-	// Collect ran the same percentile queries on both samples, so both are
-	// in the same (sorted) order; compare bitwise.
+	// Samples stay in insertion order (Percentile never reorders them),
+	// so the same trace yields the same sequence; compare bitwise.
 	for i := range latC {
 		if math.Float64bits(latC[i]) != math.Float64bits(latU[i]) {
 			t.Fatalf("latency sample %d diverged: %v vs %v", i, latC[i], latU[i])

@@ -13,12 +13,15 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"poly/internal/cluster"
 	"poly/internal/device"
 	"poly/internal/opencl"
 	"poly/internal/sched"
 	"poly/internal/sim"
+	"poly/internal/telemetry"
 )
 
 // Planner plans one request over the node's devices. *sched.Scheduler
@@ -47,7 +50,22 @@ type Options struct {
 	// Governor enables dynamic power management. The Homo-* baselines run
 	// with it off ("configured with static scheduling scheme", §VI-C).
 	Governor bool
+	// Telemetry, when non-nil, receives runtime events: per-request
+	// spans, governor transitions, device activity, and power samples.
+	// Nil disables the whole layer (the serving hot path then pays only
+	// nil-checks).
+	Telemetry telemetry.Sink
 }
+
+// defaultTelemetry, when set, is attached to every server built without
+// an explicit Options.Telemetry — how polybench records a trace of the
+// sessions its experiments construct internally. Set it once, before any
+// session exists, and only with a serial worker pool (parallel sweeps
+// would interleave their sessions' timelines in one recorder).
+var defaultTelemetry telemetry.Sink
+
+// SetDefaultTelemetry installs a process-wide fallback telemetry sink.
+func SetDefaultTelemetry(s telemetry.Sink) { defaultTelemetry = s }
 
 // defaultRestoreSlack is the planning headroom the governor restores in
 // calm windows (mirrors the scheduler's default).
@@ -90,6 +108,14 @@ type Server struct {
 	// runs once per request, and both planners copy the slice before
 	// retaining anything, so the snapshot never needs to survive a call.
 	devScratch []sched.DeviceState
+
+	// tel is the telemetry sink (nil = disabled). govMode tracks the
+	// governor's operating mode for transition events; lastCacheHits
+	// lets admit turn the planner's cumulative cache counters into
+	// per-plan hit/miss deltas.
+	tel           telemetry.Sink
+	govMode       string
+	lastCacheHits int
 }
 
 // NewServer wires an application and planner onto a node.
@@ -103,6 +129,9 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 	if opts.GovernorPeriodMS <= 0 {
 		opts.GovernorPeriodMS = 500
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = defaultTelemetry
+	}
 	sv := &Server{
 		sim:      node.Sim,
 		node:     node,
@@ -111,6 +140,8 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 		opts:     opts,
 		accels:   make(map[string]device.Accelerator),
 		intended: make(map[string]string),
+		tel:      opts.Telemetry,
+		govMode:  "nominal",
 	}
 	for _, a := range node.Accelerators() {
 		sv.accels[a.Name()] = a
@@ -118,11 +149,35 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 	if len(sv.accels) == 0 {
 		return nil, fmt.Errorf("runtime: node has no accelerators")
 	}
+	if sv.tel != nil {
+		sv.tel.BeginSession(fmt.Sprintf("%s (bound %.0f ms)", prog.Name, opts.BoundMS))
+		for _, g := range node.GPUs {
+			sv.tel.RegisterBoard(g.Name(), "GPU")
+			g.SetObserver(sv.tel)
+		}
+		for _, f := range node.FPGAs {
+			sv.tel.RegisterBoard(f.Name(), "FPGA")
+			f.SetObserver(sv.tel)
+		}
+		sv.tel.PowerSample(sv.sim.Now(), node.PowerW())
+	}
 	sv.powerTS.Add(sv.sim.Now(), node.PowerW())
 	if opts.Governor {
 		sv.sim.After(sim.Duration(opts.GovernorPeriodMS), sv.governorTick)
 	}
 	return sv, nil
+}
+
+// setGovernorMode tracks the governor's operating mode and emits a
+// transition event (with its cause) when it changes.
+func (sv *Server) setGovernorMode(to, cause string) {
+	if sv.govMode == to {
+		return
+	}
+	if sv.tel != nil {
+		sv.tel.GovernorTransition(sv.sim.Now(), sv.govMode, to, cause)
+	}
+	sv.govMode = to
 }
 
 // Bound returns the effective latency bound.
@@ -176,6 +231,8 @@ type request struct {
 	// latency slack split across its batched (GPU) stages, so waiting to
 	// fill batches can never by itself break the bound.
 	windowMS float64
+	// span is the request's telemetry record (nil when disabled).
+	span *telemetry.Span
 }
 
 // admit plans and launches a request at the current instant.
@@ -190,11 +247,26 @@ func (sv *Server) admit() {
 			g.SetDVFS(1)
 		}
 		sv.lowPowerMode = false
+		sv.setGovernorMode("nominal", "arrival_wake")
 	}
 	plan, err := sv.planner.Schedule(sv.deviceStates(), sv.opts.BoundMS)
 	if err != nil {
 		sv.planErrors++
+		if sv.tel != nil {
+			sv.tel.PlanError(sv.sim.Now())
+		}
 		return
+	}
+	var span *telemetry.Span
+	if sv.tel != nil {
+		hits, _ := sv.PlannerCacheStats()
+		hit := hits > sv.lastCacheHits
+		sv.lastCacheHits = hits
+		sv.tel.PlanUpdate(hit, plan.EnergySwaps)
+		span = sv.tel.StartSpan(sv.sim.Now(), sv.opts.BoundMS)
+		span.CacheHit = hit
+		span.PlanMakespanMS = plan.MakespanMS
+		span.EnergySwaps = plan.EnergySwaps
 	}
 	sv.inFlight++
 	// Walk assignments in planned start order: when a plan places two
@@ -212,6 +284,7 @@ func (sv *Server) admit() {
 		plan:      plan,
 		waiting:   make(map[string]int),
 		remaining: len(plan.Assignments),
+		span:      span,
 	}
 	// Batches form from the queue: arrivals during a running launch
 	// coalesce into the next one, which self-balances with load. A fixed
@@ -237,6 +310,9 @@ func (r *request) submit(kernel string) {
 		// The planner referenced an unknown device — drop the request
 		// rather than corrupt accounting.
 		r.sv.planErrors++
+		if r.sv.tel != nil {
+			r.sv.tel.PlanError(r.sv.sim.Now())
+		}
 		r.finishRequest(false)
 		return
 	}
@@ -253,6 +329,14 @@ func (r *request) submit(kernel string) {
 		Batch:      a.Impl.Config.Batch,
 		PowerW:     a.Impl.PowerW,
 		OnDone:     func(at sim.Time) { r.kernelDone(kernel, at) },
+	}
+	if r.span != nil {
+		ks := r.span.AddKernel(kernel, a.Device, sched.ImplID(a.Impl), float64(r.sv.sim.Now()))
+		task.OnStart = func(at sim.Time) { ks.StartMS = float64(at) }
+		task.OnDone = func(at sim.Time) {
+			ks.EndMS = float64(at)
+			r.kernelDone(kernel, at)
+		}
 	}
 	if task.Batch > 1 {
 		task.WindowMS = r.windowMS
@@ -288,18 +372,31 @@ func (r *request) finishRequest(ok bool) {
 	sv := r.sv
 	sv.inFlight--
 	if !ok {
+		if r.span != nil {
+			r.span.Dropped = true
+			sv.tel.FinishSpan(r.span, sv.sim.Now())
+		}
 		return
 	}
 	sv.completed++
-	if float64(r.arrivedAt) < sv.opts.WarmupMS {
-		return // warmup request: excluded from the QoS statistics
-	}
 	lat := float64(sv.sim.Now() - r.arrivedAt)
-	sv.latencies.Add(lat)
-	sv.windowLat.Add(lat)
-	sv.measured++
-	if lat > sv.opts.BoundMS {
-		sv.violations++
+	measured := float64(r.arrivedAt) >= sv.opts.WarmupMS
+	if measured {
+		sv.latencies.Add(lat)
+		sv.windowLat.Add(lat)
+		sv.measured++
+		if lat > sv.opts.BoundMS {
+			sv.violations++
+		}
+	}
+	if r.span != nil {
+		// Warmup requests still produce spans (flagged unmeasured) so a
+		// trace shows the cold start, but they stay out of the QoS
+		// statistics exactly as they do in Result.
+		r.span.LatencyMS = lat
+		r.span.Measured = measured
+		r.span.Violation = lat > sv.opts.BoundMS
+		sv.tel.FinishSpan(r.span, sv.sim.Now())
 	}
 }
 
@@ -310,6 +407,9 @@ func (sv *Server) governorTick() {
 		return // switched off mid-run: stop rescheduling
 	}
 	sv.powerTS.Add(sv.sim.Now(), sv.node.PowerW())
+	if sv.tel != nil {
+		sv.tel.PowerSample(sv.sim.Now(), sv.node.PowerW())
+	}
 
 	var queued int
 	for _, a := range sv.accels {
@@ -326,7 +426,13 @@ func (sv *Server) governorTick() {
 			f.EnterLowPower()
 		}
 		sv.lowPowerMode = true
+		sv.setGovernorMode("lowpower", "idle")
 	case queued > len(sv.accels) || sv.latencyPressure():
+		cause := "latency_pressure"
+		if queued > len(sv.accels) {
+			cause = "queue_depth"
+		}
+		sv.setGovernorMode("boost", cause)
 		// Queues building or the tail approaching the bound: full boost,
 		// and tighten the scheduler's planning headroom (the optimizer
 		// "make[s] an adjustment using the latest feedback", §VI-C).
@@ -345,6 +451,7 @@ func (sv *Server) governorTick() {
 			g.SetDVFS(0)
 		}
 		sv.lowPowerMode = false
+		sv.setGovernorMode("nominal", "load_return")
 	default:
 		// After two consecutive calm windows, restore the default planning
 		// headroom and drop the GPUs to the mid DVFS point — the scheduler
@@ -360,6 +467,7 @@ func (sv *Server) governorTick() {
 				sc.SetSlackFactor(defaultRestoreSlack)
 				sc.SetThroughputMode(false)
 			}
+			sv.setGovernorMode("calm", "slack_restore")
 		}
 	}
 	if sc, ok := sv.planner.(*sched.Scheduler); ok {
@@ -450,8 +558,8 @@ func (sv *Server) provisionBitstreams() {
 }
 
 // LatencySamples returns the post-warmup request latencies observed so
-// far, in the sample's internal order (Percentile queries may sort it in
-// place). Cached-vs-uncached equivalence tests compare these bitwise.
+// far, in insertion order (Percentile queries never reorder the sample).
+// Cached-vs-uncached equivalence tests compare these bitwise.
 func (sv *Server) LatencySamples() []float64 { return sv.latencies.Values() }
 
 // PlannerCacheStats reports the planner's plan-cache hit/miss counters
@@ -475,6 +583,12 @@ func (sv *Server) latencyPressure() bool {
 	return sv.lastWindow.Percentile(95) > 0.85*sv.opts.BoundMS
 }
 
+// BoardReconfigs is one FPGA board's bitstream-load count over a run.
+type BoardReconfigs struct {
+	Board string
+	Count int
+}
+
 // Result summarizes one serving run.
 type Result struct {
 	Arrivals, Completed int
@@ -484,6 +598,8 @@ type Result struct {
 	PlanErrors   int
 	P50MS, P99MS float64
 	MeanMS       float64
+	// BoundMS is the QoS bound the run was served against.
+	BoundMS float64
 	// EnergyMJ is the node's accelerator energy over the run.
 	EnergyMJ float64
 	// AvgPowerW is energy over wall-clock duration.
@@ -498,6 +614,38 @@ type Result struct {
 	GPUTasks, FPGATasks int
 	// Reconfigs counts FPGA bitstream loads over the run.
 	Reconfigs int
+	// CacheHits/CacheMisses are the planner's plan-cache counters.
+	CacheHits, CacheMisses int
+	// BoardReconfigs breaks Reconfigs down per FPGA board, in node order.
+	BoardReconfigs []BoardReconfigs
+}
+
+// String renders the run as the multi-line report cmd/polysim prints:
+// the QoS outcome first, then the planner and board diagnostics that
+// explain it.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests  %d arrived, %d completed, %d measured (bound %.0f ms)\n",
+		r.Arrivals, r.Completed, r.Measured, r.BoundMS)
+	fmt.Fprintf(&b, "latency   p50 %.2f ms  p99 %.2f ms  mean %.2f ms  violations %d (%.2f%%)\n",
+		r.P50MS, r.P99MS, r.MeanMS, r.Violations, 100*r.ViolationRatio())
+	fmt.Fprintf(&b, "power     %.1f mJ over %.0f ms (avg %.2f W), %.1f req/s\n",
+		r.EnergyMJ, r.DurationMS, r.AvgPowerW, r.ThroughputRPS)
+	fmt.Fprintf(&b, "planner   %d cache hits, %d misses, %d plan errors; %d GPU tasks, %d FPGA tasks",
+		r.CacheHits, r.CacheMisses, r.PlanErrors, r.GPUTasks, r.FPGATasks)
+	if r.Reconfigs > 0 || len(r.BoardReconfigs) > 0 {
+		boards := append([]BoardReconfigs(nil), r.BoardReconfigs...)
+		sort.Slice(boards, func(i, j int) bool { return boards[i].Board < boards[j].Board })
+		parts := make([]string, 0, len(boards))
+		for _, br := range boards {
+			parts = append(parts, fmt.Sprintf("%s=%d", br.Board, br.Count))
+		}
+		fmt.Fprintf(&b, "\nreconfigs %d total", r.Reconfigs)
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+		}
+	}
+	return b.String()
 }
 
 // ViolationRatio is the fraction of measured requests over the bound.
@@ -527,6 +675,9 @@ func (sv *Server) Collect() Result {
 	sv.sim.RunUntil(horizon)
 	end := sv.sim.Now()
 	sv.powerTS.Add(end, sv.node.PowerW())
+	if sv.tel != nil {
+		sv.tel.PowerSample(end, sv.node.PowerW())
+	}
 
 	res := Result{
 		Arrivals:   sv.arrivals,
@@ -539,12 +690,15 @@ func (sv *Server) Collect() Result {
 		P50MS:      sv.latencies.Percentile(50),
 		P99MS:      sv.latencies.P99(),
 		MeanMS:     sv.latencies.Mean(),
+		BoundMS:    sv.opts.BoundMS,
 		EnergyMJ:   sv.node.EnergyMJ(),
 		DurationMS: float64(end - start),
 		Power:      sv.powerTS,
 	}
+	res.CacheHits, res.CacheMisses = sv.PlannerCacheStats()
 	for _, f := range sv.node.FPGAs {
 		res.Reconfigs += f.Reconfigs()
+		res.BoardReconfigs = append(res.BoardReconfigs, BoardReconfigs{Board: f.Name(), Count: f.Reconfigs()})
 	}
 	if res.DurationMS > 0 {
 		res.AvgPowerW = res.EnergyMJ / res.DurationMS

@@ -1,0 +1,195 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"poly/internal/cluster"
+	"poly/internal/sim"
+	"poly/internal/telemetry"
+)
+
+// TestServeTelemetryEquivalence replays the same Poisson trace through
+// two identical sessions — telemetry attached vs disabled — and requires
+// the runs to be indistinguishable: bit-identical latency samples, power
+// series, task mix, and energy. Telemetry only observes inside existing
+// callbacks and never schedules simulator events, so any divergence here
+// means the observability layer perturbed the simulation it watches.
+func TestServeTelemetryEquivalence(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	const (
+		rps        = 40.0
+		durationMS = 20000.0
+		seed       = 7
+	)
+	warm := 0.2 * durationMS
+
+	run := func(rec *telemetry.Recorder) (Result, []float64) {
+		opts := Options{WarmupMS: warm}
+		if rec != nil {
+			opts.Telemetry = rec
+		}
+		sv := polySession(t, b, -1, opts)
+		NewWorkload(seed).InjectPoisson(sv, rps, 0, sim.Time(durationMS))
+		return sv.Collect(), sv.LatencySamples()
+	}
+
+	rec := telemetry.New()
+	resT, latT := run(rec)
+	resOff, latOff := run(nil)
+
+	if resT.Arrivals != resOff.Arrivals || resT.Completed != resOff.Completed ||
+		resT.Measured != resOff.Measured || resT.Violations != resOff.Violations ||
+		resT.PlanErrors != resOff.PlanErrors {
+		t.Fatalf("request accounting diverged:\n  telemetry: %+v\n  disabled:  %+v", resT, resOff)
+	}
+	if resT.GPUTasks != resOff.GPUTasks || resT.FPGATasks != resOff.FPGATasks ||
+		resT.Reconfigs != resOff.Reconfigs {
+		t.Fatalf("task mix diverged: GPU %d/%d, FPGA %d/%d, reconfigs %d/%d",
+			resT.GPUTasks, resOff.GPUTasks, resT.FPGATasks, resOff.FPGATasks,
+			resT.Reconfigs, resOff.Reconfigs)
+	}
+	if math.Float64bits(resT.EnergyMJ) != math.Float64bits(resOff.EnergyMJ) ||
+		math.Float64bits(resT.DurationMS) != math.Float64bits(resOff.DurationMS) {
+		t.Fatalf("energy accounting diverged: %.9f mJ / %.3f ms vs %.9f mJ / %.3f ms",
+			resT.EnergyMJ, resT.DurationMS, resOff.EnergyMJ, resOff.DurationMS)
+	}
+	if len(latT) != len(latOff) {
+		t.Fatalf("latency sample counts diverged: %d vs %d", len(latT), len(latOff))
+	}
+	for i := range latT {
+		if math.Float64bits(latT[i]) != math.Float64bits(latOff[i]) {
+			t.Fatalf("latency sample %d diverged: %v vs %v", i, latT[i], latOff[i])
+		}
+	}
+	if resT.Power.Len() != resOff.Power.Len() {
+		t.Fatalf("power series lengths diverged: %d vs %d", resT.Power.Len(), resOff.Power.Len())
+	}
+	for i := range resT.Power.Times {
+		if resT.Power.Times[i] != resOff.Power.Times[i] ||
+			math.Float64bits(resT.Power.Values[i]) != math.Float64bits(resOff.Power.Values[i]) {
+			t.Fatalf("power series diverged at %d", i)
+		}
+	}
+
+	// The recorder must have actually observed the run: one finished span
+	// per completed request, and kernel activity on the boards.
+	if got := rec.SpanTotal(); got != resT.Completed {
+		t.Fatalf("recorder saw %d spans, run completed %d requests", got, resT.Completed)
+	}
+	launches := rec.Registry().Counter("poly_device_launches_total", "", "device", "gpu0").Value()
+	if launches == 0 {
+		t.Fatal("no GPU launches recorded")
+	}
+	if rec.TraceEventCount() == 0 {
+		t.Fatal("trace buffer empty after a full serve")
+	}
+}
+
+// TestGovernorTransitionLatencyPressure drives the governor's boost path
+// directly: a monitoring window whose p95 crowds the bound must flip the
+// mode to boost with cause latency_pressure, and the transition must land
+// in the registry and as a governor-track trace instant.
+func TestGovernorTransitionLatencyPressure(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	rec := telemetry.New()
+	sv := polySession(t, b, -1, Options{Telemetry: rec})
+
+	// ≥10 samples in the last window, tail above 0.85×bound; one arrival
+	// so the idle branch doesn't win.
+	for i := 0; i < 12; i++ {
+		sv.lastWindow.Add(0.95 * sv.Bound())
+	}
+	sv.windowArrivals = 1
+	sv.governorTick()
+
+	if got := rec.Registry().Counter("poly_governor_transitions_total", "",
+		"from", "nominal", "to", "boost", "cause", "latency_pressure").Value(); got != 1 {
+		t.Fatalf("boost/latency_pressure transitions = %v, want 1", got)
+	}
+
+	// Next tick with nothing in flight: idle parks the node in lowpower.
+	sv.windowArrivals = 0
+	sv.governorTick()
+	if got := rec.Registry().Counter("poly_governor_transitions_total", "",
+		"from", "boost", "to", "lowpower", "cause", "idle").Value(); got != 1 {
+		t.Fatalf("lowpower/idle transitions = %v, want 1", got)
+	}
+
+	// An arrival while parked wakes the node immediately.
+	sv.Inject(sv.sim.Now() + 1)
+	sv.sim.RunUntil(sv.sim.Now() + 2)
+	if got := rec.Registry().Counter("poly_governor_transitions_total", "",
+		"from", "lowpower", "to", "nominal", "cause", "arrival_wake").Value(); got != 1 {
+		t.Fatalf("nominal/arrival_wake transitions = %v, want 1", got)
+	}
+}
+
+// TestServeSpanLifecycle serves a short run against an impossibly tight
+// bound and checks the span records: every completed request yields a
+// span whose kernels carry ordered queue/start/end stamps, and the
+// violation flags agree with the server's own QoS accounting.
+func TestServeSpanLifecycle(t *testing.T) {
+	b := benches(t, "ASR")[cluster.HeterPoly]
+	rec := telemetry.NewWithOptions(telemetry.Options{SpanRingCap: 4096})
+	sv := polySession(t, b, -1, Options{BoundMS: 1, Telemetry: rec})
+	NewWorkload(3).InjectPoisson(sv, 10, 0, 3000)
+	res := sv.Collect()
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	spans := rec.Spans()
+	if len(spans) != res.Completed {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), res.Completed)
+	}
+	violations := 0
+	for _, sp := range spans {
+		if len(sp.Kernels) == 0 {
+			t.Fatalf("span %d has no kernels", sp.ID)
+		}
+		for _, k := range sp.Kernels {
+			if k.Device == "" || k.ImplID == "" {
+				t.Fatalf("span %d kernel %q missing placement (%q, %q)", sp.ID, k.Kernel, k.Device, k.ImplID)
+			}
+			if k.StartMS < k.QueuedMS || k.EndMS < k.StartMS {
+				t.Fatalf("span %d kernel %q stamps out of order: queued %v start %v end %v",
+					sp.ID, k.Kernel, k.QueuedMS, k.StartMS, k.EndMS)
+			}
+		}
+		if sp.AdmitWaitMS() < 0 {
+			t.Fatalf("span %d negative admit wait", sp.ID)
+		}
+		if sp.Measured && sp.Violation {
+			violations++
+		}
+	}
+	if violations != res.Violations {
+		t.Fatalf("span violations = %d, server counted %d", violations, res.Violations)
+	}
+	if res.Violations == 0 {
+		t.Fatal("a 1 ms bound should violate; the test lost its teeth")
+	}
+}
+
+// BenchmarkServeSteadyStateTelemetry is BenchmarkServeSteadyState with a
+// recorder attached — compare the two to see what observing costs. (The
+// disabled-sink overhead is the delta between BenchmarkServeSteadyState
+// before and after this package existed: nil-checks only.)
+func BenchmarkServeSteadyStateTelemetry(b *testing.B) {
+	bench := benches(b, "ASR")[cluster.HeterPoly]
+	const (
+		rps        = 40.0
+		durationMS = 5000.0
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := telemetry.New()
+		sv := polySession(b, bench, -1, Options{WarmupMS: 1000, Telemetry: rec})
+		NewWorkload(1).InjectConstant(sv, rps, 0, sim.Time(durationMS))
+		res := sv.Collect()
+		if res.PlanErrors != 0 {
+			b.Fatalf("%d plan errors", res.PlanErrors)
+		}
+	}
+}

@@ -125,11 +125,21 @@ func (b Bench) NewSession(opts Options) (*Server, *cluster.Node, error) {
 // at 5 s) is warmup: bitstream loads and cold queues are excluded from
 // the QoS statistics, as a load tester would.
 func (b Bench) ServeConstantLoad(rps float64, durationMS float64, seed int64) (Result, error) {
-	warm := 0.2 * durationMS
-	if warm > 5000 {
-		warm = 5000
+	return b.ServeConstantLoadWith(Options{}, rps, durationMS, seed)
+}
+
+// ServeConstantLoadWith is ServeConstantLoad with explicit session
+// options — how cmd/polysim attaches a telemetry sink or overrides the
+// bound. A zero WarmupMS gets the same 20 %-capped-at-5 s default.
+func (b Bench) ServeConstantLoadWith(opts Options, rps float64, durationMS float64, seed int64) (Result, error) {
+	if opts.WarmupMS == 0 {
+		warm := 0.2 * durationMS
+		if warm > 5000 {
+			warm = 5000
+		}
+		opts.WarmupMS = warm
 	}
-	sv, _, err := b.NewSession(Options{WarmupMS: warm})
+	sv, _, err := b.NewSession(opts)
 	if err != nil {
 		return Result{}, err
 	}

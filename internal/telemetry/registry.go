@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"poly/internal/sim"
+)
+
+// Labels is an ordered list of key/value pairs ("key", "value", ...).
+// Series identity canonicalizes by key, so label order never matters.
+type Labels []string
+
+// Registry is a label-keyed metric store: counters, gauges, and
+// fixed-bucket histograms, grouped into families for Prometheus text
+// exposition. All methods are safe for concurrent use — the simulation
+// loop records while the /metrics listener snapshots.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // family names in first-registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*Metric
+	keys   []string // series keys in first-registration order
+}
+
+// Metric is one series of a family: a counter, gauge, or histogram,
+// depending on how it was registered. Histogram series reuse the
+// sim.HistogramBoundsMS bucket layout, so a `le` bound here means the
+// same interval as a sim.Sample bucket.
+type Metric struct {
+	reg       *Registry
+	kind      metricKind
+	labelsStr string // rendered {k="v",...}, sorted by key; "" when unlabeled
+
+	val float64 // counter / gauge value
+
+	// histogram state (kindHistogram only)
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// labelsKey renders labels sorted by key for series identity and output.
+func labelsKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("telemetry: odd label list")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get returns the series for (name, labels), creating family and series
+// as needed. Kind and help are fixed by the first registration.
+func (r *Registry) get(name, help string, kind metricKind, labels Labels) *Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*Metric)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	}
+	key := labelsKey(labels)
+	m := f.series[key]
+	if m == nil {
+		m = &Metric{reg: r, kind: f.kind, labelsStr: key}
+		if f.kind == kindHistogram {
+			m.buckets = make([]uint64, sim.NumHistogramBuckets)
+		}
+		f.series[key] = m
+		f.keys = append(f.keys, key)
+	}
+	return m
+}
+
+// Counter returns the counter series for (name, labels), creating it at
+// zero on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Metric {
+	return r.get(name, help, kindCounter, Labels(labels))
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...string) *Metric {
+	return r.get(name, help, kindGauge, Labels(labels))
+}
+
+// Histogram returns the histogram series for (name, labels), with the
+// shared sim.HistogramBoundsMS bucket layout.
+func (r *Registry) Histogram(name, help string, labels ...string) *Metric {
+	return r.get(name, help, kindHistogram, Labels(labels))
+}
+
+// Add increments a counter (or gauge) by v.
+func (m *Metric) Add(v float64) {
+	m.reg.mu.Lock()
+	m.val += v
+	m.reg.mu.Unlock()
+}
+
+// Inc increments a counter by one.
+func (m *Metric) Inc() { m.Add(1) }
+
+// Set sets a gauge's value.
+func (m *Metric) Set(v float64) {
+	m.reg.mu.Lock()
+	m.val = v
+	m.reg.mu.Unlock()
+}
+
+// Value reads the current counter/gauge value.
+func (m *Metric) Value() float64 {
+	m.reg.mu.Lock()
+	defer m.reg.mu.Unlock()
+	return m.val
+}
+
+// Observe records one observation into a histogram series.
+func (m *Metric) Observe(v float64) {
+	m.reg.mu.Lock()
+	m.buckets[sim.BucketIndex(v)]++
+	m.count++
+	m.sum += v
+	m.reg.mu.Unlock()
+}
+
+// HistCount returns a histogram series' observation count.
+func (m *Metric) HistCount() uint64 {
+	m.reg.mu.Lock()
+	defer m.reg.mu.Unlock()
+	return m.count
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) of a histogram series
+// by linear interpolation inside the bucket holding the target rank —
+// the summary the registry reports as p50/p95/p99. Exact percentiles
+// stay with sim.Sample; this is a monitoring estimate.
+func (m *Metric) Quantile(q float64) float64 {
+	m.reg.mu.Lock()
+	defer m.reg.mu.Unlock()
+	if m.count == 0 {
+		return 0
+	}
+	rank := q * float64(m.count)
+	var cum float64
+	for i, c := range m.buckets {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = sim.HistogramBoundsMS[i-1]
+			}
+			hi := lo
+			if i < len(sim.HistogramBoundsMS) {
+				hi = sim.HistogramBoundsMS[i]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return sim.HistogramBoundsMS[len(sim.HistogramBoundsMS)-1]
+}
+
+// formatValue renders a sample value the shortest way that round-trips.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families appear in registration order and
+// series in first-use order, so output is deterministic for a
+// deterministic run.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.keys {
+			m := f.series[key]
+			if f.kind != kindHistogram {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, m.labelsStr, formatValue(m.val)); err != nil {
+					return err
+				}
+				continue
+			}
+			var cum uint64
+			for i, c := range m.buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(sim.HistogramBoundsMS) {
+					le = formatValue(sim.HistogramBoundsMS[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, withLabel(m.labelsStr, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, m.labelsStr, formatValue(m.sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, m.labelsStr, m.count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// withLabel appends one label pair to an already-rendered label set.
+func withLabel(rendered, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the text exposition format byte for
+// byte against testdata/registry_golden.txt: HELP/TYPE lines, label
+// rendering, cumulative histogram buckets with the shared `le` bounds,
+// and registration-order determinism.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("poly_requests_total", "Finished requests by outcome.", "outcome", "ok").Add(12)
+	r.Counter("poly_requests_total", "", "outcome", "violation").Inc()
+	r.Gauge("poly_power_watts", "Node accelerator power at the last sample.").Set(137.5)
+	h := r.Histogram("poly_request_latency_ms", "End-to-end request latency.")
+	for _, v := range []float64{0.4, 3, 3, 18, 42, 6000} {
+		h.Observe(v)
+	}
+	// A labeled histogram and out-of-order label keys (must canonicalize).
+	r.Histogram("poly_kernel_queue_ms", "Per-kernel device queue wait.", "device", "gpu0").Observe(2.5)
+	r.Counter("poly_kernel_execs_total", "Kernel executions by placement.",
+		"kernel", "mfcc", "device", "gpu0").Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "registry_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestLabelOrderCanonical checks that label order never splits a series.
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "b", "2", "a", "1")
+	b := r.Counter("x_total", "", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("same labels in different order produced distinct series")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("value = %v, want 1", b.Value())
+	}
+}
+
+// TestQuantileEstimate checks the histogram quantile stays inside the
+// bucket that holds the target rank.
+func TestQuantileEstimate(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_ms", "")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)) // 0..99 ms
+	}
+	q := h.Quantile(0.5)
+	if q < 40 || q > 75 {
+		t.Fatalf("Quantile(0.5) = %v, want inside the median's bucket range", q)
+	}
+	if h.HistCount() != 100 {
+		t.Fatalf("count = %d", h.HistCount())
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+// KernelSpan is one kernel execution inside a request span: where it was
+// placed and how its time split between queueing and service.
+type KernelSpan struct {
+	Kernel string
+	Device string
+	ImplID string
+	// QueuedMS is when the runtime submitted the task to its device.
+	QueuedMS float64
+	// StartMS is when the device began executing it (its launch/initiation
+	// instant); EndMS is its completion.
+	StartMS float64
+	EndMS   float64
+}
+
+// QueueMS is the time the task waited behind the device queue (including
+// batching windows and foreground reconfiguration).
+func (k *KernelSpan) QueueMS() float64 { return k.StartMS - k.QueuedMS }
+
+// ServiceMS is the pure execution span.
+func (k *KernelSpan) ServiceMS() float64 { return k.EndMS - k.StartMS }
+
+// Span follows one request from admission through its kernel DAG to
+// completion. The runtime owns and fills it; FinishSpan hands it to the
+// recorder's bounded ring.
+type Span struct {
+	ID uint64
+	// ArrivedMS is the admission instant; BoundMS the QoS bound the
+	// request was planned against.
+	ArrivedMS float64
+	BoundMS   float64
+	// PlanMakespanMS is the planner's predicted end-to-end latency;
+	// CacheHit records whether the plan came from the plan cache, and
+	// EnergySwaps how many Step-2 implementation swaps it carries.
+	PlanMakespanMS float64
+	CacheHit       bool
+	EnergySwaps    int
+	// LatencyMS is the observed end-to-end latency; Violation whether it
+	// exceeded the bound; Measured whether the request is post-warmup
+	// (part of the QoS population); Dropped whether the request was
+	// abandoned mid-flight (e.g. a plan referenced an unknown device).
+	LatencyMS float64
+	Violation bool
+	Measured  bool
+	Dropped   bool
+	// Kernels are the per-kernel placements, in submission order. Entries
+	// are pointers so a record handed out by AddKernel stays valid while
+	// later submissions grow the slice.
+	Kernels []*KernelSpan
+}
+
+// AddKernel appends a kernel record and returns it for the runtime to
+// fill in start/end as the device reports them.
+func (s *Span) AddKernel(kernel, device, implID string, queuedMS float64) *KernelSpan {
+	k := &KernelSpan{Kernel: kernel, Device: device, ImplID: implID, QueuedMS: queuedMS}
+	s.Kernels = append(s.Kernels, k)
+	return k
+}
+
+// AdmitWaitMS is the time from admission until the first kernel started
+// executing — how long the request sat before any device picked it up.
+func (s *Span) AdmitWaitMS() float64 {
+	first := -1.0
+	for _, k := range s.Kernels {
+		if first < 0 || k.StartMS < first {
+			first = k.StartMS
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	return first - s.ArrivedMS
+}
+
+// SpanRing is a bounded ring of finished spans: the newest cap spans are
+// retained, older ones overwritten. It gives an operator the tail of the
+// request history without unbounded memory.
+type SpanRing struct {
+	buf   []*Span
+	next  int
+	total int
+}
+
+// NewSpanRing returns a ring holding up to cap spans (minimum 1).
+func NewSpanRing(cap int) *SpanRing {
+	if cap < 1 {
+		cap = 1
+	}
+	return &SpanRing{buf: make([]*Span, 0, cap)}
+}
+
+// Push records a finished span, evicting the oldest when full.
+func (r *SpanRing) Push(s *Span) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		return
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns how many spans were ever pushed.
+func (r *SpanRing) Total() int { return r.total }
+
+// Snapshot returns the retained spans, oldest first.
+func (r *SpanRing) Snapshot() []*Span {
+	out := make([]*Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

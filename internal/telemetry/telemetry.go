@@ -1,0 +1,364 @@
+// Package telemetry is Poly's runtime observability layer: a label-keyed
+// metric registry (counters, gauges, fixed-bucket latency histograms), a
+// bounded ring of per-request spans, and two exporters — Prometheus text
+// exposition for a live /metrics endpoint and a Chrome trace-event JSON
+// dump (Perfetto-loadable) of the simulated timeline.
+//
+// Determinism rule: every timestamp that enters this package is a
+// sim.Time from the single-threaded discrete-event simulator, never wall
+// clock, so a run's metrics and trace are bit-identical at any
+// POLY_WORKERS pool size. The whole layer hangs off the nil-able Sink
+// interface: a disabled sink costs the emitting layers only nil-checks,
+// which is what keeps the telemetry-off serving path within noise of the
+// un-instrumented one (BenchmarkServeSteadyState).
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"sync"
+
+	"poly/internal/sim"
+)
+
+// Sink receives runtime events. *Recorder implements it; emitting layers
+// hold a nil Sink when telemetry is disabled. The device-facing subset
+// (Launched, ReconfigStart, DVFSChanged) structurally satisfies
+// device.Observer, so one sink serves every layer.
+type Sink interface {
+	// BeginSession opens a new serving session (one server run). Each
+	// session becomes one Perfetto process with its own board tracks.
+	BeginSession(label string)
+	// RegisterBoard declares a board of the current session; class is
+	// "GPU" or "FPGA".
+	RegisterBoard(name, class string)
+
+	// StartSpan opens a per-request span at admission; the runtime fills
+	// plan fields and kernel records, then hands it back via FinishSpan.
+	StartSpan(at sim.Time, boundMS float64) *Span
+	// FinishSpan records a completed request: ring, latency histograms,
+	// outcome counters, and a violation instant on the trace.
+	FinishSpan(sp *Span, at sim.Time)
+	// PlanError counts a request dropped at planning time.
+	PlanError(at sim.Time)
+	// PlanUpdate records one planning outcome: plan-cache hit/miss and
+	// the plan's Step-2 energy swap count.
+	PlanUpdate(cacheHit bool, energySwaps int)
+
+	// GovernorTransition records a governor mode change and its cause.
+	GovernorTransition(at sim.Time, from, to, cause string)
+	// PowerSample records the node's instantaneous power draw.
+	PowerSample(at sim.Time, watts float64)
+
+	// Launched records one physical execution on a board: a (possibly
+	// batched) GPU launch or one FPGA task.
+	Launched(device, kernel, implID string, batch int, start, end sim.Time)
+	// ReconfigStart records an FPGA bitstream load and its stall span.
+	ReconfigStart(device, implID string, at sim.Time, stallMS float64, background bool)
+	// DVFSChanged records a GPU operating-point change.
+	DVFSChanged(device string, level int, at sim.Time)
+}
+
+// Options tunes a Recorder.
+type Options struct {
+	// SpanRingCap bounds the retained finished spans (default 1024).
+	SpanRingCap int
+	// TraceEventCap bounds the trace buffer (default 1<<20 events);
+	// overflow increments poly_trace_events_dropped_total.
+	TraceEventCap int
+}
+
+// Recorder is the standard Sink: it feeds the registry, the span ring,
+// and the trace buffer. Safe for concurrent use (the /metrics listener
+// reads while the simulation records), though a single simulation is
+// itself single-threaded.
+type Recorder struct {
+	mu    sync.Mutex
+	reg   *Registry
+	spans *SpanRing
+	trace *traceBuf
+
+	session  int            // current Perfetto pid; 0 before BeginSession
+	boards   map[string]int // board name → tid within current session
+	nextTID  int
+	nextSpan uint64
+
+	// cached hot-path series
+	cOK, cViolation, cWarmup, cPlanErr *Metric
+	cCacheHit, cCacheMiss, cSwaps      *Metric
+	hLatency, hAdmitWait               *Metric
+	gPower, gInflightSpans             *Metric
+	cDropped                           *Metric
+}
+
+// New returns a Recorder with default options.
+func New() *Recorder { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a Recorder with explicit bounds.
+func NewWithOptions(o Options) *Recorder {
+	if o.SpanRingCap <= 0 {
+		o.SpanRingCap = 1024
+	}
+	if o.TraceEventCap <= 0 {
+		o.TraceEventCap = 1 << 20
+	}
+	r := &Recorder{
+		reg:    NewRegistry(),
+		spans:  NewSpanRing(o.SpanRingCap),
+		trace:  newTraceBuf(o.TraceEventCap),
+		boards: make(map[string]int),
+	}
+	r.cOK = r.reg.Counter("poly_requests_total", "Finished requests by outcome.", "outcome", "ok")
+	r.cViolation = r.reg.Counter("poly_requests_total", "", "outcome", "violation")
+	r.cWarmup = r.reg.Counter("poly_requests_total", "", "outcome", "warmup")
+	r.cPlanErr = r.reg.Counter("poly_plan_errors_total", "Requests dropped because planning failed.")
+	r.cCacheHit = r.reg.Counter("poly_plan_cache_hits_total", "Plans served from the plan cache.")
+	r.cCacheMiss = r.reg.Counter("poly_plan_cache_misses_total", "Plans computed cold.")
+	r.cSwaps = r.reg.Counter("poly_energy_swaps_total", "Step-2 energy implementation swaps across plans.")
+	r.hLatency = r.reg.Histogram("poly_request_latency_ms", "End-to-end request latency (post-warmup).")
+	r.hAdmitWait = r.reg.Histogram("poly_admit_wait_ms", "Admission to first kernel start.")
+	r.gPower = r.reg.Gauge("poly_power_watts", "Node accelerator power at the last sample.")
+	r.gInflightSpans = r.reg.Gauge("poly_spans_inflight", "Spans started but not finished.")
+	r.cDropped = r.reg.Counter("poly_trace_events_dropped_total", "Trace events over the buffer cap.")
+	return r
+}
+
+// Registry exposes the metric registry (for exporters and tests).
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Spans returns the retained finished spans, oldest first.
+func (r *Recorder) Spans() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans.Snapshot()
+}
+
+// SpanTotal returns how many spans finished over the recorder's lifetime.
+func (r *Recorder) SpanTotal() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans.Total()
+}
+
+// BeginSession implements Sink.
+func (r *Recorder) BeginSession(label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.session++
+	r.nextTID = tidFirstBoard
+	clear(r.boards)
+	r.trace.add(TraceEvent{Name: "process_name", Phase: "M", PID: r.session,
+		Args: map[string]any{"name": label}})
+	r.trace.add(TraceEvent{Name: "thread_name", Phase: "M", PID: r.session, TID: tidGovernor,
+		Args: map[string]any{"name": "governor"}})
+	r.trace.add(TraceEvent{Name: "thread_name", Phase: "M", PID: r.session, TID: tidRequests,
+		Args: map[string]any{"name": "requests"}})
+}
+
+// RegisterBoard implements Sink.
+func (r *Recorder) RegisterBoard(name, class string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.session == 0 {
+		r.session = 1 // boards registered without an explicit session
+	}
+	if _, ok := r.boards[name]; ok {
+		return
+	}
+	tid := r.nextTID
+	if tid < tidFirstBoard {
+		tid = tidFirstBoard
+	}
+	r.nextTID = tid + 1
+	r.boards[name] = tid
+	r.trace.add(TraceEvent{Name: "thread_name", Phase: "M", PID: r.session, TID: tid,
+		Args: map[string]any{"name": name + " (" + class + ")"}})
+	r.reg.Gauge("poly_device_dvfs_level", "Current GPU DVFS ladder index.", "device", name)
+}
+
+// boardTID resolves a board's track, registering lazily if needed.
+// Callers hold r.mu.
+func (r *Recorder) boardTID(name string) int {
+	tid, ok := r.boards[name]
+	if !ok {
+		tid = r.nextTID
+		if tid < tidFirstBoard {
+			tid = tidFirstBoard
+		}
+		r.nextTID = tid + 1
+		r.boards[name] = tid
+	}
+	return tid
+}
+
+// us converts simulated milliseconds to trace microseconds.
+func us(t sim.Time) float64 { return float64(t) * 1000 }
+
+// StartSpan implements Sink.
+func (r *Recorder) StartSpan(at sim.Time, boundMS float64) *Span {
+	r.mu.Lock()
+	r.nextSpan++
+	id := r.nextSpan
+	r.mu.Unlock()
+	r.gInflightSpans.Add(1)
+	return &Span{ID: id, ArrivedMS: float64(at), BoundMS: boundMS}
+}
+
+// FinishSpan implements Sink.
+func (r *Recorder) FinishSpan(sp *Span, at sim.Time) {
+	r.gInflightSpans.Add(-1)
+	switch {
+	case sp.Dropped:
+		r.reg.Counter("poly_requests_total", "", "outcome", "dropped").Inc()
+	case !sp.Measured:
+		r.cWarmup.Inc()
+	case sp.Violation:
+		r.cViolation.Inc()
+	default:
+		r.cOK.Inc()
+	}
+	if sp.Measured {
+		r.hLatency.Observe(sp.LatencyMS)
+		r.hAdmitWait.Observe(sp.AdmitWaitMS())
+	}
+	if !sp.Dropped {
+		for _, k := range sp.Kernels {
+			r.reg.Histogram("poly_kernel_queue_ms", "Per-kernel device queue wait.", "device", k.Device).Observe(k.QueueMS())
+			r.reg.Histogram("poly_kernel_service_ms", "Per-kernel execution span.", "device", k.Device).Observe(k.ServiceMS())
+			r.reg.Counter("poly_kernel_execs_total", "Kernel executions by placement.",
+				"device", k.Device, "kernel", k.Kernel).Inc()
+		}
+	}
+	r.mu.Lock()
+	r.spans.Push(sp)
+	if sp.Violation {
+		r.trace.add(TraceEvent{Name: "violation", Cat: "violation", Phase: "i", Scope: "t",
+			TS: us(at), PID: r.session, TID: tidRequests,
+			Args: map[string]any{"latency_ms": sp.LatencyMS, "bound_ms": sp.BoundMS, "span": sp.ID}})
+	}
+	r.mu.Unlock()
+}
+
+// PlanError implements Sink.
+func (r *Recorder) PlanError(at sim.Time) {
+	r.cPlanErr.Inc()
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "plan_error", Cat: "violation", Phase: "i", Scope: "t",
+		TS: us(at), PID: r.session, TID: tidRequests})
+	r.mu.Unlock()
+}
+
+// PlanUpdate implements Sink.
+func (r *Recorder) PlanUpdate(cacheHit bool, energySwaps int) {
+	if cacheHit {
+		r.cCacheHit.Inc()
+	} else {
+		r.cCacheMiss.Inc()
+	}
+	if energySwaps > 0 {
+		r.cSwaps.Add(float64(energySwaps))
+	}
+}
+
+// GovernorTransition implements Sink.
+func (r *Recorder) GovernorTransition(at sim.Time, from, to, cause string) {
+	r.reg.Counter("poly_governor_transitions_total", "Governor mode changes by cause.",
+		"from", from, "to", to, "cause", cause).Inc()
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "governor:" + to, Cat: "governor", Phase: "i", Scope: "p",
+		TS: us(at), PID: r.session, TID: tidGovernor,
+		Args: map[string]any{"from": from, "to": to, "cause": cause}})
+	r.mu.Unlock()
+}
+
+// PowerSample implements Sink.
+func (r *Recorder) PowerSample(at sim.Time, watts float64) {
+	r.gPower.Set(watts)
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "power", Cat: "power", Phase: "C",
+		TS: us(at), PID: r.session, TID: tidGovernor,
+		Args: map[string]any{"watts": watts}})
+	r.mu.Unlock()
+}
+
+// Launched implements Sink (the device.Observer subset).
+func (r *Recorder) Launched(device, kernel, implID string, batch int, start, end sim.Time) {
+	r.reg.Counter("poly_device_launches_total", "Physical launches per board.", "device", device).Inc()
+	r.reg.Counter("poly_device_busy_ms_total", "Execution-busy milliseconds per board.", "device", device).
+		Add(float64(end - start))
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: kernel, Cat: "kernel", Phase: "X",
+		TS: us(start), Dur: us(end - start), PID: r.session, TID: r.boardTID(device),
+		Args: map[string]any{"impl": implID, "batch": batch}})
+	r.mu.Unlock()
+}
+
+// ReconfigStart implements Sink (the device.Observer subset).
+func (r *Recorder) ReconfigStart(device, implID string, at sim.Time, stallMS float64, background bool) {
+	mode := "foreground"
+	if background {
+		mode = "background"
+	}
+	r.reg.Counter("poly_device_reconfigs_total", "FPGA bitstream loads per board.",
+		"device", device, "mode", mode).Inc()
+	r.reg.Counter("poly_device_reconfig_stall_ms_total", "Milliseconds boards spent reconfiguring.",
+		"device", device).Add(stallMS)
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "reconfig", Cat: "reconfig", Phase: "X",
+		TS: us(at), Dur: stallMS * 1000, PID: r.session, TID: r.boardTID(device),
+		Args: map[string]any{"impl": implID, "mode": mode}})
+	r.mu.Unlock()
+}
+
+// DVFSChanged implements Sink (the device.Observer subset).
+func (r *Recorder) DVFSChanged(device string, level int, at sim.Time) {
+	r.reg.Gauge("poly_device_dvfs_level", "Current GPU DVFS ladder index.", "device", device).
+		Set(float64(level))
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "dvfs", Cat: "dvfs", Phase: "i", Scope: "t",
+		TS: us(at), PID: r.session, TID: r.boardTID(device),
+		Args: map[string]any{"level": level}})
+	r.mu.Unlock()
+}
+
+// TraceDropped reports how many trace events exceeded the buffer cap.
+func (r *Recorder) TraceDropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace.dropped
+}
+
+// TraceEventCount reports the buffered trace event count.
+func (r *Recorder) TraceEventCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.trace.events)
+}
+
+// WriteTrace renders the buffered timeline as Chrome trace-event JSON
+// (load it at https://ui.perfetto.dev or chrome://tracing).
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d := r.trace.dropped; d > 0 {
+		r.cDropped.Set(float64(d))
+	}
+	return r.trace.writeTrace(w)
+}
+
+// WritePrometheus renders the metric registry in the Prometheus text
+// exposition format.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	return r.reg.WritePrometheus(w)
+}
+
+// MetricsHandler serves WritePrometheus over HTTP — mount it at /metrics
+// on the pprof listener.
+func (r *Recorder) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+var _ Sink = (*Recorder)(nil)

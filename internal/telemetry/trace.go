@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceEvent is one Chrome trace-event (the JSON format Perfetto and
+// chrome://tracing load). Timestamps are microseconds of *simulated*
+// time — the trace is a rendering of the deterministic event timeline,
+// never of wall clock.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Reserved per-session track ids; board tracks start at tidFirstBoard.
+const (
+	tidGovernor   = 0
+	tidRequests   = 1
+	tidFirstBoard = 2
+)
+
+// traceBuf accumulates trace events up to a cap; overflow is counted,
+// not stored, so a runaway sweep cannot exhaust memory.
+type traceBuf struct {
+	events  []TraceEvent
+	cap     int
+	dropped int
+}
+
+func newTraceBuf(cap int) *traceBuf {
+	if cap < 1 {
+		cap = 1
+	}
+	return &traceBuf{cap: cap}
+}
+
+func (b *traceBuf) add(e TraceEvent) {
+	if len(b.events) >= b.cap {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// writeTrace renders the buffer as a Chrome trace JSON object.
+func (b *traceBuf) writeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"traceEvents":     b.events,
+	})
+}
