@@ -37,6 +37,8 @@ func main() {
 		// Experiments build their sessions internally, so tracing goes
 		// through the process-wide default sink — and must run serial, or
 		// parallel sweeps would interleave their timelines in one recorder.
+		fmt.Fprintln(os.Stderr,
+			"polybench: -trace-out forces a serial worker pool (POLY_WORKERS ignored); drop -trace-out for parallel sweeps")
 		parallel.SetWorkers(1)
 		rec = telemetry.New()
 		runtime.SetDefaultTelemetry(rec)

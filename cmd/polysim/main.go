@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"poly"
+	"poly/internal/fault"
 	"poly/internal/prof"
 	"poly/internal/runtime"
 	"poly/internal/sim"
@@ -34,6 +35,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (and /metrics with -telemetry) on this address (e.g. localhost:6060)")
 	useTelemetry := flag.Bool("telemetry", false, "record runtime telemetry (metrics + spans)")
 	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace JSON of the run to this file (implies -telemetry)")
+	faults := flag.String("faults", "", "fault scenario: off, slowdowns, boardfail, reconfig, mispredict, or chaos")
+	faultSeed := flag.Int64("fault-seed", 1, "fault scenario seed (same seed, same fault plan)")
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -71,12 +74,21 @@ func main() {
 	if rec != nil {
 		telSink = rec
 	}
+	faultCfg, err := fault.Preset(*faults, *faultSeed)
+	if err != nil {
+		fail(err)
+	}
+	var faultsOpt *fault.Config
+	if faultCfg.Enabled() {
+		faultsOpt = &faultCfg
+	}
 	var res poly.Result
+	var inj *fault.Injector
 	if *useTrace {
 		tr := poly.SynthesizeTrace(*seed)
 		const compressedMS = 600_000.0
 		compress := tr.DurationMS() / compressedMS
-		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000, Telemetry: telSink})
+		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000, Telemetry: telSink, Faults: faultsOpt})
 		if err != nil {
 			fail(err)
 		}
@@ -85,15 +97,26 @@ func main() {
 			return *rps * tr.At(float64(at)*compress)
 		}, compressedMS, 5_000)
 		res = sv.Collect()
+		inj = sv.FaultInjector()
 	} else {
-		res, err = bench.ServeConstantLoadWith(runtime.Options{Telemetry: telSink},
-			*rps, float64(duration.Milliseconds()), *seed)
+		durationMS := float64(duration.Milliseconds())
+		warm := 0.2 * durationMS
+		if warm > 5000 {
+			warm = 5000
+		}
+		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: warm, Telemetry: telSink, Faults: faultsOpt})
 		if err != nil {
 			fail(err)
 		}
+		runtime.NewWorkload(*seed).InjectPoisson(sv, *rps, 0, sim.Time(durationMS))
+		res = sv.Collect()
+		inj = sv.FaultInjector()
 	}
 
 	fmt.Printf("%s on %s (%s):\n", *app, arch, st.Name)
+	if inj != nil {
+		fmt.Println(indent(inj.Summary(), "  "))
+	}
 	fmt.Println(indent(res.String(), "  "))
 	if *traceOut != "" {
 		if err := writeTraceFile(rec, *traceOut); err != nil {

@@ -38,6 +38,27 @@ type Task struct {
 	OnStart func(at sim.Time)
 	// OnDone is called when the task completes. May be nil.
 	OnDone func(at sim.Time)
+	// OnFail is called instead of OnDone when the board loses the task —
+	// a submission rejected or a queue flushed by an injected board
+	// failure, or a bitstream that repeatedly refuses to load. May be
+	// nil, in which case the task silently disappears (the runtime always
+	// sets it when fault injection is active).
+	OnFail func(at sim.Time)
+}
+
+// FaultHook lets a fault-injection layer perturb a board's behavior.
+// *fault.Injector implements it structurally; a nil hook (the default)
+// costs the devices only nil-checks and leaves execution bit-identical
+// to a build without fault injection.
+type FaultHook interface {
+	// ExecScale returns the service-time multiplier for one execution
+	// starting at `at` (1 = unperturbed).
+	ExecScale(board, implID string, at sim.Time) float64
+	// BoardDown reports whether the board is inside a failure window.
+	BoardDown(board string, at sim.Time) bool
+	// ReconfigAborts decides whether one FPGA bitstream-load attempt
+	// fails: the penalty is paid but the bitstream is not resident.
+	ReconfigAborts(board, implID string, at sim.Time) bool
 }
 
 // Observer receives board-level telemetry events. The runtime attaches
@@ -86,13 +107,39 @@ type accelBase struct {
 	power  float64 // instantaneous watts
 	energy float64 // accumulated mJ
 	lastAt sim.Time
-	obs    Observer // nil when telemetry is disabled
+	obs    Observer  // nil when telemetry is disabled
+	fault  FaultHook // nil when fault injection is disabled
 }
 
 func (b *accelBase) Name() string { return b.name }
 
 // SetObserver attaches (or detaches, with nil) a telemetry observer.
 func (b *accelBase) SetObserver(o Observer) { b.obs = o }
+
+// SetFaultHook attaches (or detaches, with nil) a fault injector.
+func (b *accelBase) SetFaultHook(h FaultHook) { b.fault = h }
+
+// down reports whether the injected fault plan has the board failed now.
+func (b *accelBase) down() bool {
+	return b.fault != nil && b.fault.BoardDown(b.name, b.sim.Now())
+}
+
+// failTask reports a lost task to its owner at the next event boundary —
+// deferring keeps the failure callback (which typically re-submits the
+// task elsewhere) out of the device's own queue manipulation.
+func (b *accelBase) failTask(t *Task) {
+	if t.OnFail != nil {
+		b.sim.After(0, func() { t.OnFail(b.sim.Now()) })
+	}
+}
+
+// execScale returns the fault layer's duration multiplier (1 when off).
+func (b *accelBase) execScale(implID string) float64 {
+	if b.fault == nil {
+		return 1
+	}
+	return b.fault.ExecScale(b.name, implID, b.sim.Now())
+}
 
 // setPower integrates energy up to now and switches the draw level.
 func (b *accelBase) setPower(w float64) {
@@ -195,8 +242,13 @@ func (g *GPUDevice) idlePower() float64 {
 }
 
 // Submit enqueues a task. The launch fires at the next event boundary so
-// that same-instant submissions can form one batch.
+// that same-instant submissions can form one batch. A board inside an
+// injected failure window rejects the submission outright.
 func (g *GPUDevice) Submit(t *Task) {
+	if g.down() {
+		g.failTask(t)
+		return
+	}
 	t.enqueuedAt = g.sim.Now()
 	g.queue = append(g.queue, t)
 	if !g.running {
@@ -214,6 +266,17 @@ func (g *GPUDevice) Submit(t *Task) {
 func (g *GPUDevice) launch() {
 	g.pending = false
 	if g.running {
+		return
+	}
+	if g.down() {
+		// The board failed while work was queued: flush everything. The
+		// owners' OnFail callbacks re-place the tasks on healthy boards.
+		q := g.queue
+		g.queue = nil
+		g.setPower(g.idlePower())
+		for _, t := range q {
+			g.failTask(t)
+		}
 		return
 	}
 	if len(g.queue) == 0 {
@@ -269,6 +332,9 @@ func (g *GPUDevice) launch() {
 		}
 	}
 	dur := sim.Time(latMS / lvl.FreqScale * g.Perturb(powerRef.ImplID))
+	if s := g.execScale(powerRef.ImplID); s != 1 {
+		dur = sim.Time(float64(dur) * s)
+	}
 	g.launches++
 	g.tasks += len(batch)
 	g.busyMS += float64(dur)
@@ -364,6 +430,10 @@ type FPGADevice struct {
 	nextInit  sim.Time
 	draining  bool
 	reconfigs int
+	// abortStreak counts consecutive injected bitstream-load aborts; the
+	// third in a row fails the head task instead of burning the board on
+	// reconfiguration retries forever.
+	abortStreak int
 }
 
 // NewFPGA attaches a simulated FPGA board to a simulator.
@@ -411,7 +481,13 @@ func (f *FPGADevice) Preload(implID string) {
 	f.lowPower = false
 	f.draining = true // block submissions from racing the flash
 	f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
-	f.loaded = implID
+	if f.fault != nil && f.fault.ReconfigAborts(f.name, implID, f.sim.Now()) {
+		// Aborted background flash: the stall is paid, the fabric comes
+		// up blank, and the governor's next provisioning pass retries.
+		f.loaded = ""
+	} else {
+		f.loaded = implID
+	}
 	f.nextInit = f.sim.Now() + sim.Time(f.spec.ReconfigMS)
 	f.sim.At(f.nextInit, func() {
 		f.draining = false
@@ -424,8 +500,13 @@ func (f *FPGADevice) Preload(implID string) {
 }
 
 // Submit enqueues a task; it starts as soon as the pipeline's initiation
-// interval and any needed reconfiguration allow.
+// interval and any needed reconfiguration allow. A board inside an
+// injected failure window rejects the submission outright.
 func (f *FPGADevice) Submit(t *Task) {
+	if f.down() {
+		f.failTask(t)
+		return
+	}
 	f.queue = append(f.queue, t)
 	if !f.draining {
 		f.drain()
@@ -434,6 +515,20 @@ func (f *FPGADevice) Submit(t *Task) {
 
 // drain starts queued tasks respecting reconfiguration and the II.
 func (f *FPGADevice) drain() {
+	if f.down() {
+		// The board failed while work was queued: flush everything. The
+		// owners' OnFail callbacks re-place the tasks on healthy boards.
+		q := f.queue
+		f.queue = nil
+		f.draining = false
+		if f.inflight == 0 {
+			f.setPower(f.spec.IdlePowerW)
+		}
+		for _, t := range q {
+			f.failTask(t)
+		}
+		return
+	}
 	if len(f.queue) == 0 {
 		f.draining = false
 		if f.inflight == 0 {
@@ -445,14 +540,31 @@ func (f *FPGADevice) drain() {
 	t := f.queue[0]
 
 	if f.loaded != t.ImplID {
-		// Reconfigure, then retry the drain.
+		// Reconfigure, then retry the drain. The fault layer may abort
+		// the load: the stall is paid but the fabric comes up blank, and
+		// the next drain retries — a third consecutive abort fails the
+		// head task instead of reconfiguring forever.
+		aborted := f.fault != nil && f.fault.ReconfigAborts(f.name, t.ImplID, f.sim.Now())
+		if aborted && f.abortStreak >= 2 {
+			f.queue = f.queue[1:]
+			f.abortStreak = 0
+			f.failTask(t)
+			f.drain()
+			return
+		}
 		f.reconfigs++
 		if f.obs != nil {
 			f.obs.ReconfigStart(f.name, t.ImplID, f.sim.Now(), f.spec.ReconfigMS, false)
 		}
 		f.lowPower = false
 		f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
-		f.loaded = t.ImplID
+		if aborted {
+			f.abortStreak++
+			f.loaded = ""
+		} else {
+			f.abortStreak = 0
+			f.loaded = t.ImplID
+		}
 		f.nextInit = f.sim.Now() + sim.Time(f.spec.ReconfigMS)
 		f.sim.At(f.nextInit, f.drain)
 		return
@@ -464,6 +576,9 @@ func (f *FPGADevice) drain() {
 	}
 	f.queue = f.queue[1:]
 	noise := f.Perturb(t.ImplID)
+	if s := f.execScale(t.ImplID); s != 1 {
+		noise *= s
+	}
 	lat := sim.Time(t.LatencyMS * noise)
 	ii := sim.Time(t.IntervalMS * noise)
 	if ii <= 0 || ii > lat {

@@ -1,0 +1,379 @@
+// Package fault is Poly's deterministic fault-injection layer: it
+// perturbs the simulated cluster the way real datacenter hardware
+// misbehaves — boards transiently slow down, boards fail outright and
+// later come back, FPGA bitstream loads abort, and the analytical model's
+// latency predictions drift from what the "hardware" delivers.
+//
+// Everything is precomputed from a seed at construction time: each
+// board's fault windows are generated once, so every query is a pure
+// function of (board, time) and a run with a given fault seed is
+// bit-identical at any POLY_WORKERS pool size. The injector implements
+// device.FaultHook structurally; a nil hook (faults disabled) costs the
+// devices only nil-checks and leaves serving bit-identical to a build
+// without this package.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"poly/internal/sim"
+)
+
+// Kind distinguishes the fault classes an injected window can carry.
+type Kind int
+
+const (
+	// Slowdown inflates the board's service times by Factor for the span.
+	Slowdown Kind = iota
+	// Failure takes the board fully down: new submissions are rejected
+	// and queued work is flushed; in-flight executions drain.
+	Failure
+)
+
+// String names the fault kind for scenario listings.
+func (k Kind) String() string {
+	switch k {
+	case Slowdown:
+		return "slowdown"
+	case Failure:
+		return "failure"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Window is one scripted or generated fault span on one board.
+type Window struct {
+	Board string
+	Kind  Kind
+	Start sim.Time
+	End   sim.Time
+	// Factor is the service-time multiplier for Slowdown windows
+	// (ignored for Failure).
+	Factor float64
+}
+
+// Config describes one fault scenario. The zero value injects nothing:
+// an injector built from it is behaviorally identical to no injector at
+// all, which the runtime's equivalence tests enforce.
+type Config struct {
+	// Seed drives every random choice; runs with equal seeds and configs
+	// produce bit-identical fault plans.
+	Seed int64
+	// HorizonMS bounds fault generation (default 120 s of simulated time).
+	// Scripted windows may extend past it.
+	HorizonMS float64
+
+	// SlowdownRatePerSec is the expected transient-slowdown windows per
+	// board-second; SlowdownFactor multiplies service times inside a
+	// window (default 4) and SlowdownMeanMS is the mean window length
+	// (default 800 ms).
+	SlowdownRatePerSec float64
+	SlowdownFactor     float64
+	SlowdownMeanMS     float64
+
+	// FailureRatePerSec is the expected full-board failures per
+	// board-second; FailureMeanMS is the mean outage before the board
+	// works again (default 2000 ms).
+	FailureRatePerSec float64
+	FailureMeanMS     float64
+
+	// ReconfigAbortProb is the probability an FPGA bitstream load aborts:
+	// the reconfiguration penalty is paid but the bitstream ends up not
+	// resident.
+	ReconfigAbortProb float64
+
+	// MispredictAmp widens the gap between the analytical model's
+	// predicted latency and the delivered one: each execution is scaled
+	// by a deterministic factor in [1-amp, 1+amp] on top of the device's
+	// built-in calibration noise.
+	MispredictAmp float64
+
+	// Script lists explicit fault windows merged with the generated ones
+	// — how tests stage exact failure timelines.
+	Script []Window
+}
+
+// Enabled reports whether the config can ever perturb a run.
+func (c Config) Enabled() bool {
+	return c.SlowdownRatePerSec > 0 || c.FailureRatePerSec > 0 ||
+		c.ReconfigAbortProb > 0 || c.MispredictAmp > 0 || len(c.Script) > 0
+}
+
+// Preset returns a named scenario for the CLI: off, slowdowns, boardfail,
+// reconfig, mispredict, or chaos.
+func Preset(name string, seed int64) (Config, error) {
+	c := Config{Seed: seed}
+	switch strings.ToLower(name) {
+	case "", "off", "none":
+	case "slowdowns":
+		c.SlowdownRatePerSec = 0.05
+		c.SlowdownFactor = 4
+		c.SlowdownMeanMS = 800
+	case "boardfail":
+		c.FailureRatePerSec = 0.02
+		c.FailureMeanMS = 2500
+	case "reconfig":
+		c.ReconfigAbortProb = 0.3
+	case "mispredict":
+		c.MispredictAmp = 0.3
+	case "chaos":
+		c.SlowdownRatePerSec = 0.04
+		c.SlowdownFactor = 4
+		c.SlowdownMeanMS = 600
+		c.FailureRatePerSec = 0.015
+		c.FailureMeanMS = 2000
+		c.ReconfigAbortProb = 0.2
+		c.MispredictAmp = 0.15
+	default:
+		return Config{}, fmt.Errorf("fault: unknown preset %q (want off, slowdowns, boardfail, reconfig, mispredict, or chaos)", name)
+	}
+	return c, nil
+}
+
+// boardFaults is one board's precomputed fault timeline.
+type boardFaults struct {
+	slow []Window // sorted by Start
+	down []Window // sorted by Start
+	// salt folds the board name into per-execution hash draws.
+	salt uint64
+	// reconfigSeq counts bitstream-load attempts on the board; each
+	// attempt consumes one deterministic abort draw. Sessions are
+	// single-threaded, so the sequence is reproducible.
+	reconfigSeq uint64
+}
+
+// Injector holds a scenario's precomputed fault plan for one node.
+// It is bound to one session (one simulator) and, like the devices it
+// perturbs, is not safe for concurrent use across sessions.
+type Injector struct {
+	cfg    Config
+	boards map[string]*boardFaults
+}
+
+// New precomputes the fault plan for the named boards. Generation is
+// per-board (seed ⊕ board-name hash), so the plan does not depend on the
+// order boards are listed in.
+func New(cfg Config, boards []string) *Injector {
+	if cfg.HorizonMS <= 0 {
+		cfg.HorizonMS = 120_000
+	}
+	if cfg.SlowdownFactor <= 0 {
+		cfg.SlowdownFactor = 4
+	}
+	if cfg.SlowdownMeanMS <= 0 {
+		cfg.SlowdownMeanMS = 800
+	}
+	if cfg.FailureMeanMS <= 0 {
+		cfg.FailureMeanMS = 2000
+	}
+	in := &Injector{cfg: cfg, boards: make(map[string]*boardFaults, len(boards))}
+	for _, name := range boards {
+		bf := &boardFaults{salt: hash64(name)}
+		rng := sim.NewRNG(cfg.Seed ^ int64(bf.salt))
+		bf.slow = genWindows(rng, name, Slowdown, cfg.SlowdownRatePerSec,
+			cfg.SlowdownMeanMS, cfg.SlowdownFactor, cfg.HorizonMS)
+		bf.down = genWindows(rng, name, Failure, cfg.FailureRatePerSec,
+			cfg.FailureMeanMS, 0, cfg.HorizonMS)
+		in.boards[name] = bf
+	}
+	for _, w := range cfg.Script {
+		bf := in.boards[w.Board]
+		if bf == nil || w.End <= w.Start {
+			continue
+		}
+		switch w.Kind {
+		case Slowdown:
+			if w.Factor <= 0 {
+				w.Factor = cfg.SlowdownFactor
+			}
+			bf.slow = insertSorted(bf.slow, w)
+		case Failure:
+			bf.down = insertSorted(bf.down, w)
+		}
+	}
+	return in
+}
+
+// genWindows draws a Poisson process of fault windows over the horizon.
+func genWindows(rng *sim.RNG, board string, kind Kind, ratePerSec, meanMS, factor, horizonMS float64) []Window {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	meanGapMS := 1000 / ratePerSec
+	var out []Window
+	for t := rng.Exp(meanGapMS); t < horizonMS; t += rng.Exp(meanGapMS) {
+		d := rng.Exp(meanMS)
+		if d < 1 {
+			d = 1
+		}
+		out = append(out, Window{Board: board, Kind: kind, Factor: factor,
+			Start: sim.Time(t), End: sim.Time(t + d)})
+	}
+	return out
+}
+
+// insertSorted keeps the window slice ordered by Start.
+func insertSorted(ws []Window, w Window) []Window {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].Start > w.Start })
+	ws = append(ws, Window{})
+	copy(ws[i+1:], ws[i:])
+	ws[i] = w
+	return ws
+}
+
+// covering returns the window containing at, or nil. Windows may overlap;
+// the one with the latest end wins so merged outages extend correctly.
+func covering(ws []Window, at sim.Time) *Window {
+	var hit *Window
+	for i := range ws {
+		w := &ws[i]
+		if w.Start > at {
+			break
+		}
+		if at < w.End && (hit == nil || w.End > hit.End) {
+			hit = w
+		}
+	}
+	return hit
+}
+
+// hash64 is FNV-1a over a string.
+func hash64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix is splitmix64: a statistically strong avalanche of one draw index.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to [0, 1).
+func unit(x uint64) float64 { return float64(mix(x)>>11) / (1 << 53) }
+
+// ExecScale returns the multiplier applied to one execution's duration on
+// a board: the transient-slowdown factor when the instant falls in a
+// slowdown window, times the model-misprediction noise for the
+// implementation. Returns exactly 1 when nothing applies, so disabled
+// scenarios are bit-transparent.
+func (in *Injector) ExecScale(board, implID string, at sim.Time) float64 {
+	bf := in.boards[board]
+	if bf == nil {
+		return 1
+	}
+	scale := 1.0
+	if w := covering(bf.slow, at); w != nil {
+		scale = w.Factor
+	}
+	if amp := in.cfg.MispredictAmp; amp > 0 {
+		// A pure function of (seed, board, impl, ms-quantized instant):
+		// reproducible regardless of query order.
+		d := uint64(in.cfg.Seed) ^ bf.salt ^ hash64(implID) ^ uint64(int64(at))
+		scale *= 1 + amp*(2*unit(d)-1)
+	}
+	return scale
+}
+
+// BoardDown reports whether the board is inside a failure window.
+func (in *Injector) BoardDown(board string, at sim.Time) bool {
+	bf := in.boards[board]
+	if bf == nil {
+		return false
+	}
+	return covering(bf.down, at) != nil
+}
+
+// DownUntil returns the end of the failure window covering at, or at
+// itself when the board is up — the earliest instant the hardware could
+// serve again (the runtime's backoff may wait longer).
+func (in *Injector) DownUntil(board string, at sim.Time) sim.Time {
+	bf := in.boards[board]
+	if bf == nil {
+		return at
+	}
+	if w := covering(bf.down, at); w != nil {
+		return w.End
+	}
+	return at
+}
+
+// ReconfigAborts decides whether one bitstream-load attempt fails. Each
+// call consumes one deterministic draw from the board's attempt sequence.
+func (in *Injector) ReconfigAborts(board, implID string, at sim.Time) bool {
+	p := in.cfg.ReconfigAbortProb
+	if p <= 0 {
+		return false
+	}
+	bf := in.boards[board]
+	if bf == nil {
+		return false
+	}
+	bf.reconfigSeq++
+	d := uint64(in.cfg.Seed) ^ bf.salt ^ hash64(implID) ^ (bf.reconfigSeq * 0x2545f4914f6cdd1d)
+	return unit(d) < p
+}
+
+// Config returns the scenario the injector was built from.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Windows returns a board's fault timeline (slowdowns then failures,
+// each sorted by start) for scenario listings and tests.
+func (in *Injector) Windows(board string) []Window {
+	bf := in.boards[board]
+	if bf == nil {
+		return nil
+	}
+	out := make([]Window, 0, len(bf.slow)+len(bf.down))
+	out = append(out, bf.slow...)
+	out = append(out, bf.down...)
+	return out
+}
+
+// Summary renders the scenario for CLI output: per-board window counts
+// and the global knobs that are on.
+func (in *Injector) Summary() string {
+	var b strings.Builder
+	var knobs []string
+	c := in.cfg
+	if c.SlowdownRatePerSec > 0 {
+		knobs = append(knobs, fmt.Sprintf("slowdowns %.3g/s ×%.1f", c.SlowdownRatePerSec, c.SlowdownFactor))
+	}
+	if c.FailureRatePerSec > 0 {
+		knobs = append(knobs, fmt.Sprintf("failures %.3g/s ~%.0f ms", c.FailureRatePerSec, c.FailureMeanMS))
+	}
+	if c.ReconfigAbortProb > 0 {
+		knobs = append(knobs, fmt.Sprintf("reconfig aborts %.0f%%", 100*c.ReconfigAbortProb))
+	}
+	if c.MispredictAmp > 0 {
+		knobs = append(knobs, fmt.Sprintf("mispredict ±%.0f%%", 100*c.MispredictAmp))
+	}
+	if len(c.Script) > 0 {
+		knobs = append(knobs, fmt.Sprintf("%d scripted windows", len(c.Script)))
+	}
+	if len(knobs) == 0 {
+		return "faults: none"
+	}
+	fmt.Fprintf(&b, "faults: %s (seed %d)", strings.Join(knobs, ", "), c.Seed)
+	names := make([]string, 0, len(in.boards))
+	for n := range in.boards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		bf := in.boards[n]
+		if len(bf.slow) == 0 && len(bf.down) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %s: %d slowdown, %d failure windows", n, len(bf.slow), len(bf.down))
+	}
+	return b.String()
+}

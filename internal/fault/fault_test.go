@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"poly/internal/sim"
+)
+
+var testBoards = []string{"gpu0", "fpga0", "fpga1", "fpga2"}
+
+// TestZeroConfigIsTransparent: an injector built from the zero config must
+// answer every query as if it did not exist — scale exactly 1, never down,
+// never aborting. The runtime's zero-rate equivalence test rests on this.
+func TestZeroConfigIsTransparent(t *testing.T) {
+	in := New(Config{Seed: 42}, testBoards)
+	for _, b := range testBoards {
+		for _, at := range []sim.Time{0, 1, 999.5, 50_000, 500_000} {
+			if s := in.ExecScale(b, "k|board|cfg", at); s != 1 {
+				t.Fatalf("ExecScale(%s, %v) = %v, want exactly 1", b, at, s)
+			}
+			if in.BoardDown(b, at) {
+				t.Fatalf("BoardDown(%s, %v) on zero config", b, at)
+			}
+			if in.ReconfigAborts(b, "impl", at) {
+				t.Fatalf("ReconfigAborts(%s) on zero config", b)
+			}
+			if got := in.DownUntil(b, at); got != at {
+				t.Fatalf("DownUntil(%s, %v) = %v, want %v", b, at, got, at)
+			}
+		}
+	}
+	if in.Config().Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+}
+
+// TestDeterministicPlan: two injectors from the same config must carry
+// bit-identical fault timelines and answer queries identically, and the
+// plan must not depend on board listing order.
+func TestDeterministicPlan(t *testing.T) {
+	cfg := Config{Seed: 7, SlowdownRatePerSec: 0.1, SlowdownFactor: 5,
+		FailureRatePerSec: 0.05, MispredictAmp: 0.2, ReconfigAbortProb: 0.4}
+	a := New(cfg, testBoards)
+	reversed := []string{"fpga2", "fpga1", "fpga0", "gpu0"}
+	b := New(cfg, reversed)
+	for _, board := range testBoards {
+		wa, wb := a.Windows(board), b.Windows(board)
+		if len(wa) != len(wb) {
+			t.Fatalf("%s: window counts %d vs %d", board, len(wa), len(wb))
+		}
+		if len(wa) == 0 {
+			t.Fatalf("%s: rates above zero generated no windows", board)
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("%s window %d: %+v vs %+v", board, i, wa[i], wb[i])
+			}
+		}
+		for at := sim.Time(0); at < 20_000; at += 37 {
+			sa := a.ExecScale(board, "impl-x", at)
+			sb := b.ExecScale(board, "impl-x", at)
+			if math.Float64bits(sa) != math.Float64bits(sb) {
+				t.Fatalf("%s @%v: scale %v vs %v", board, at, sa, sb)
+			}
+			if a.BoardDown(board, at) != b.BoardDown(board, at) {
+				t.Fatalf("%s @%v: down disagree", board, at)
+			}
+		}
+		// The abort sequence is stateful per board but deterministic.
+		for i := 0; i < 50; i++ {
+			if a.ReconfigAborts(board, "impl-x", 0) != b.ReconfigAborts(board, "impl-x", 0) {
+				t.Fatalf("%s: abort draw %d diverged", board, i)
+			}
+		}
+	}
+}
+
+// TestScriptedWindows: scripted windows land on the right board with the
+// right span, and DownUntil reports the window end.
+func TestScriptedWindows(t *testing.T) {
+	cfg := Config{Seed: 1, Script: []Window{
+		{Board: "gpu0", Kind: Failure, Start: 5000, End: 9000},
+		{Board: "fpga1", Kind: Slowdown, Start: 2000, End: 4000, Factor: 6},
+	}}
+	in := New(cfg, testBoards)
+	if !in.BoardDown("gpu0", 5000) || !in.BoardDown("gpu0", 8999) {
+		t.Fatal("gpu0 not down inside its scripted window")
+	}
+	if in.BoardDown("gpu0", 4999) || in.BoardDown("gpu0", 9000) {
+		t.Fatal("gpu0 down outside its scripted window")
+	}
+	if got := in.DownUntil("gpu0", 6000); got != 9000 {
+		t.Fatalf("DownUntil = %v, want 9000", got)
+	}
+	if s := in.ExecScale("fpga1", "impl", 3000); s != 6 {
+		t.Fatalf("scripted slowdown scale = %v, want 6", s)
+	}
+	if s := in.ExecScale("fpga1", "impl", 4500); s != 1 {
+		t.Fatalf("scale outside window = %v, want 1", s)
+	}
+	if in.BoardDown("fpga1", 3000) {
+		t.Fatal("slowdown window reported as failure")
+	}
+}
+
+// TestMispredictNoiseBounded: the misprediction scale stays in
+// [1-amp, 1+amp] and actually varies across instants and impls.
+func TestMispredictNoiseBounded(t *testing.T) {
+	const amp = 0.25
+	in := New(Config{Seed: 3, MispredictAmp: amp}, testBoards)
+	seen := map[float64]bool{}
+	for at := sim.Time(0); at < 1000; at++ {
+		s := in.ExecScale("gpu0", "k|b|c", at)
+		if s < 1-amp || s > 1+amp {
+			t.Fatalf("scale %v outside [%v, %v]", s, 1-amp, 1+amp)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("noise nearly constant: %d distinct values over 1000 ms", len(seen))
+	}
+}
+
+// TestReconfigAbortRate: the abort draw hits roughly the configured
+// probability over many attempts.
+func TestReconfigAbortRate(t *testing.T) {
+	in := New(Config{Seed: 9, ReconfigAbortProb: 0.3}, testBoards)
+	aborts := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if in.ReconfigAborts("fpga0", "impl", 0) {
+			aborts++
+		}
+	}
+	got := float64(aborts) / n
+	if got < 0.25 || got > 0.35 {
+		t.Fatalf("abort rate %.3f, want ≈0.30", got)
+	}
+}
+
+// TestPresets: every documented preset parses; unknown names error.
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"off", "none", "", "slowdowns", "boardfail", "reconfig", "mispredict", "chaos"} {
+		if _, err := Preset(name, 1); err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+	}
+	if _, err := Preset("nope", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	c, _ := Preset("chaos", 5)
+	if !c.Enabled() || c.Seed != 5 {
+		t.Fatalf("chaos preset: %+v", c)
+	}
+	if c, _ := Preset("off", 5); c.Enabled() {
+		t.Fatal("off preset enabled")
+	}
+}

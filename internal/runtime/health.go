@@ -1,0 +1,233 @@
+package runtime
+
+import (
+	"poly/internal/device"
+	"poly/internal/sched"
+	"poly/internal/sim"
+)
+
+// Board health: the graceful-degradation half of fault injection. The
+// runtime never reads the injector's ground truth — it infers board
+// state the way a real serving node must, from failed tasks and from
+// completions that deviate from the plan's prediction. Everything here
+// is inert when no injector is attached: the health map is nil, no
+// hooks are installed, and the serving path is bit-identical to a
+// fault-free build (TestServeFaultsDisabledEquivalence).
+//
+// The state machine per board:
+//
+//	healthy --task failure--> down --backoff expires--> suspect
+//	healthy --2 deviating completions--> suspect
+//	suspect --5 clean completions--> healthy
+//	suspect/down boards re-failing escalate the backoff exponentially
+//
+// Down boards are excluded from the scheduler's EST tables entirely;
+// suspect boards stay schedulable but carry a fixed availability
+// penalty, so the planner prefers proven-healthy capacity without
+// starving a recovering board of the probe traffic it needs to clear
+// probation. Every transition bumps the health epoch, which prefixes
+// both planners' plan-cache keys — stale plans die with the epoch
+// instead of needing an explicit flush.
+const (
+	healthHealthy = iota
+	healthSuspect
+	healthDown
+)
+
+const (
+	// maxKernelRetries bounds re-placements per request before it is
+	// dropped — unbounded retries under a correlated failure would melt
+	// the survivors.
+	maxKernelRetries = 3
+	// backoffBaseMS/backoffCapMS shape the exponential probe backoff for
+	// a failing board: 250, 500, 1000, ... capped at 8 s. A flapping
+	// board is probed geometrically less often.
+	backoffBaseMS = 250.0
+	backoffCapMS  = 8000.0
+	// suspectPenaltyMS is added to a suspect board's availability in the
+	// scheduler's view. A fixed quantum (not a ratio) keeps the plan-
+	// cache key space small while the penalty is in force.
+	suspectPenaltyMS = 30.0
+	// deviationFactor/deviationAbsMS gate the mispredict monitor: a
+	// completion counts as deviating only when it lands beyond 3x the
+	// plan's prediction AND more than 25 ms late in absolute terms. Both
+	// thresholds sit far above the simulator's baseline service-time
+	// perturbation and DVFS ratio effects, so fault-free runs never trip.
+	deviationFactor = 3.0
+	deviationAbsMS  = 25.0
+	// deviationTrip consecutive deviations mark a board suspect;
+	// probationRuns clean completions restore it.
+	deviationTrip = 2
+	probationRuns = 5
+	// shedHeadroom discounts the bound during degraded admission: a
+	// degraded node's EST tables underestimate real queueing (lost
+	// capacity, retry traffic), so plans predicted to land in the top
+	// 10 % of the budget are shed rather than risked as tail violations.
+	shedHeadroom = 0.9
+)
+
+// boardHealth is the runtime's belief about one board.
+type boardHealth struct {
+	state int
+	// failStreak counts down-transitions since the last full recovery;
+	// it drives the exponential backoff.
+	failStreak int
+	// deviations / cleanRuns feed the mispredict monitor's hysteresis.
+	deviations int
+	cleanRuns  int
+}
+
+func healthName(s int) string {
+	switch s {
+	case healthSuspect:
+		return "suspect"
+	case healthDown:
+		return "down"
+	default:
+		return "healthy"
+	}
+}
+
+// healthState returns the board's current state (healthy when no
+// injector — the map is only populated with faults enabled).
+func (sv *Server) healthState(board string) int {
+	if h := sv.health[board]; h != nil {
+		return h.state
+	}
+	return healthHealthy
+}
+
+// degraded reports whether any board is currently non-healthy — the
+// gate for admission shedding.
+func (sv *Server) degraded() bool {
+	for _, h := range sv.health {
+		if h.state != healthHealthy {
+			return true
+		}
+	}
+	return false
+}
+
+// bumpEpoch advances the board-health generation and pushes it into the
+// planner's plan-cache key, invalidating every memoized plan.
+func (sv *Server) bumpEpoch() {
+	sv.healthEpoch++
+	if p, ok := sv.planner.(interface{ SetHealthEpoch(uint64) }); ok {
+		p.SetHealthEpoch(sv.healthEpoch)
+	}
+}
+
+// setHealth transitions one board's state, bumping the epoch and
+// emitting telemetry.
+func (sv *Server) setHealth(board string, to int, at sim.Time) {
+	h := sv.health[board]
+	if h == nil || h.state == to {
+		return
+	}
+	from := h.state
+	h.state = to
+	sv.bumpEpoch()
+	if sv.tel != nil {
+		sv.tel.BoardHealthChanged(board, healthName(from), healthName(to), at)
+	}
+}
+
+// markBoardFailed records a task loss on a board: the board goes down,
+// leaves the EST tables, and a probe is scheduled after an exponential
+// backoff. When the backoff expires the board re-enters planning as
+// suspect (probation); if it fails again the streak doubles the next
+// backoff — flapping boards are probed geometrically less often.
+func (sv *Server) markBoardFailed(board string, at sim.Time) {
+	h := sv.health[board]
+	if h == nil || h.state == healthDown {
+		return // already known-down; one episode, one transition
+	}
+	h.failStreak++
+	h.deviations = 0
+	h.cleanRuns = 0
+	sv.boardDownEvents++
+	sv.setHealth(board, healthDown, at)
+	backoff := backoffBaseMS * float64(int(1)<<min(h.failStreak-1, 5))
+	if backoff > backoffCapMS {
+		backoff = backoffCapMS
+	}
+	sv.sim.After(sim.Duration(backoff), func() {
+		if h.state == healthDown {
+			h.cleanRuns = 0
+			sv.setHealth(board, healthSuspect, sv.sim.Now())
+		}
+	})
+}
+
+// observeCompletion is the monitor half of Fig. 2's feedback loop
+// applied to faults: it compares each kernel's observed end-to-end
+// progress against the plan's prediction. Sustained deviation marks the
+// board suspect; sustained accuracy clears probation.
+func (sv *Server) observeCompletion(board string, predictedMS, observedMS float64, at sim.Time) {
+	h := sv.health[board]
+	if h == nil || h.state == healthDown {
+		return
+	}
+	if observedMS > deviationFactor*predictedMS && observedMS-predictedMS > deviationAbsMS {
+		h.deviations++
+		h.cleanRuns = 0
+		if h.deviations >= deviationTrip && h.state == healthHealthy {
+			sv.setHealth(board, healthSuspect, at)
+		}
+		return
+	}
+	if h.deviations > 0 {
+		h.deviations--
+	}
+	h.cleanRuns++
+	if h.state == healthSuspect && h.cleanRuns >= probationRuns {
+		h.failStreak = 0
+		sv.setHealth(board, healthHealthy, at)
+	}
+}
+
+// kernelFailed is a task's OnFail path: the board just lost this
+// kernel. Mark the board, then either re-place the kernel on surviving
+// capacity or — once the retry budget is spent or no device can host
+// it — drop the request.
+func (r *request) kernelFailed(kernel, board string, at sim.Time) {
+	sv := r.sv
+	if r.done {
+		return
+	}
+	sv.taskFailures++
+	sv.markBoardFailed(board, at)
+	drop := func() {
+		sv.failedRequests++
+		r.finishRequest(false)
+	}
+	if r.retries >= maxKernelRetries {
+		drop()
+		return
+	}
+	r.retries++
+	sv.retries++
+	if r.span != nil {
+		r.span.Retries = r.retries
+	}
+	if sv.tel != nil {
+		sv.tel.TaskRetry(board, kernel, at)
+	}
+	p, ok := sv.planner.(interface {
+		PlaceKernel(kernel string, devices []sched.DeviceState) (*sched.Assignment, error)
+	})
+	if !ok {
+		drop()
+		return
+	}
+	a, err := p.PlaceKernel(kernel, sv.deviceStates())
+	if err != nil {
+		drop()
+		return
+	}
+	r.plan.Assignments[kernel] = a
+	if a.Impl.Platform == device.FPGA {
+		sv.intended[a.Device] = a.Impl.ID
+	}
+	r.submit(kernel)
+}

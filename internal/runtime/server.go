@@ -18,6 +18,7 @@ import (
 
 	"poly/internal/cluster"
 	"poly/internal/device"
+	"poly/internal/fault"
 	"poly/internal/opencl"
 	"poly/internal/sched"
 	"poly/internal/sim"
@@ -55,6 +56,12 @@ type Options struct {
 	// Nil disables the whole layer (the serving hot path then pays only
 	// nil-checks).
 	Telemetry telemetry.Sink
+	// Faults, when non-nil and enabled, attaches a deterministic fault
+	// injector to every board and arms the runtime's graceful-degradation
+	// machinery (health monitor, retries, admission shedding). Nil or a
+	// disabled config leaves the serving path bit-identical to a build
+	// without the fault layer.
+	Faults *fault.Config
 }
 
 // defaultTelemetry, when set, is attached to every server built without
@@ -116,6 +123,20 @@ type Server struct {
 	tel           telemetry.Sink
 	govMode       string
 	lastCacheHits int
+
+	// injector is the fault layer (nil = faults disabled; every fault
+	// path below is gated on it). health is the runtime's belief about
+	// each board (see health.go); healthEpoch is the generation counter
+	// that keys plan-cache invalidation on health transitions.
+	injector    *fault.Injector
+	health      map[string]*boardHealth
+	healthEpoch uint64
+
+	shed            int
+	retries         int
+	taskFailures    int
+	failedRequests  int
+	boardDownEvents int
 }
 
 // NewServer wires an application and planner onto a node.
@@ -148,6 +169,26 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 	}
 	if len(sv.accels) == 0 {
 		return nil, fmt.Errorf("runtime: node has no accelerators")
+	}
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		boards := make([]string, 0, len(sv.accels))
+		for _, g := range node.GPUs {
+			boards = append(boards, g.Name())
+		}
+		for _, f := range node.FPGAs {
+			boards = append(boards, f.Name())
+		}
+		sv.injector = fault.New(*opts.Faults, boards)
+		sv.health = make(map[string]*boardHealth, len(boards))
+		for _, b := range boards {
+			sv.health[b] = &boardHealth{}
+		}
+		for _, g := range node.GPUs {
+			g.SetFaultHook(sv.injector)
+		}
+		for _, f := range node.FPGAs {
+			f.SetFaultHook(sv.injector)
+		}
 	}
 	if sv.tel != nil {
 		sv.tel.BeginSession(fmt.Sprintf("%s (bound %.0f ms)", prog.Name, opts.BoundMS))
@@ -189,26 +230,45 @@ func (sv *Server) deviceStates() []sched.DeviceState {
 	now := sv.sim.Now()
 	out := sv.devScratch[:0]
 	for _, g := range sv.node.GPUs {
-		out = append(out, sched.DeviceState{
+		// Down boards leave the EST tables entirely; suspect boards carry
+		// a fixed availability penalty (see health.go). Both branches are
+		// unreachable without an injector.
+		h := sv.healthState(g.Name())
+		if h == healthDown {
+			continue
+		}
+		ds := sched.DeviceState{
 			Name:      g.Name(),
 			Class:     device.GPU,
 			FreeAtMS:  float64(g.NextFreeAt() - now),
 			FreqScale: g.FreqScale(),
-		})
+		}
+		if h == healthSuspect {
+			ds.FreeAtMS += suspectPenaltyMS
+		}
+		out = append(out, ds)
 	}
 	for _, f := range sv.node.FPGAs {
+		h := sv.healthState(f.Name())
+		if h == healthDown {
+			continue
+		}
 		loaded := sv.intended[f.Name()]
 		if loaded == "" {
 			loaded = f.Loaded()
 		}
-		out = append(out, sched.DeviceState{
+		ds := sched.DeviceState{
 			Name:       f.Name(),
 			Class:      device.FPGA,
 			FreeAtMS:   float64(f.NextFreeAt() - now),
 			LoadedImpl: loaded,
 			ReconfigMS: sv.node.Plan.Setting.FPGA.ReconfigMS,
 			FreqScale:  1,
-		})
+		}
+		if h == healthSuspect {
+			ds.FreeAtMS += suspectPenaltyMS
+		}
+		out = append(out, ds)
 	}
 	sv.devScratch = out
 	return out
@@ -233,6 +293,11 @@ type request struct {
 	windowMS float64
 	// span is the request's telemetry record (nil when disabled).
 	span *telemetry.Span
+	// retries counts kernel re-placements after task failures; done
+	// latches completion so late callbacks from an already-dropped
+	// request (tasks still draining on other boards) can't double-count.
+	retries int
+	done    bool
 }
 
 // admit plans and launches a request at the current instant.
@@ -249,11 +314,31 @@ func (sv *Server) admit() {
 		sv.lowPowerMode = false
 		sv.setGovernorMode("nominal", "arrival_wake")
 	}
+	// Admission control under degradation: when boards are down or
+	// suspect, feasible capacity may not meet the bound. Shedding the
+	// request at admission is a fast rejection the client can retry
+	// elsewhere; admitting it would turn one board's fault into tail
+	// violations for the whole population (ISSUE: prefer rejection).
+	degraded := sv.injector != nil && sv.degraded()
 	plan, err := sv.planner.Schedule(sv.deviceStates(), sv.opts.BoundMS)
 	if err != nil {
+		if degraded {
+			sv.shed++
+			if sv.tel != nil {
+				sv.tel.RequestShed(sv.sim.Now())
+			}
+			return
+		}
 		sv.planErrors++
 		if sv.tel != nil {
 			sv.tel.PlanError(sv.sim.Now())
+		}
+		return
+	}
+	if degraded && plan.MakespanMS > shedHeadroom*sv.opts.BoundMS {
+		sv.shed++
+		if sv.tel != nil {
+			sv.tel.RequestShed(sv.sim.Now())
 		}
 		return
 	}
@@ -338,6 +423,20 @@ func (r *request) submit(kernel string) {
 			r.kernelDone(kernel, at)
 		}
 	}
+	if r.sv.injector != nil {
+		// Fault machinery: a lost task re-enters via kernelFailed, and
+		// every completion feeds the deviation monitor (observed progress
+		// vs the plan's predicted finish for this kernel). Both wrappers
+		// exist only when an injector is attached, keeping the fault-free
+		// path bit-identical.
+		task.OnFail = func(at sim.Time) { r.kernelFailed(kernel, a.Device, at) }
+		inner := task.OnDone
+		predicted := a.EndMS
+		task.OnDone = func(at sim.Time) {
+			r.sv.observeCompletion(a.Device, predicted, float64(at-r.arrivedAt), at)
+			inner(at)
+		}
+	}
 	if task.Batch > 1 {
 		task.WindowMS = r.windowMS
 	}
@@ -347,6 +446,9 @@ func (r *request) submit(kernel string) {
 // kernelDone propagates completion to the successors.
 func (r *request) kernelDone(kernel string, at sim.Time) {
 	sv := r.sv
+	if r.done {
+		return // request already dropped; stragglers don't propagate
+	}
 	for _, e := range sv.prog.Succs(kernel) {
 		succ := e.To
 		delay := sim.Duration(0)
@@ -370,6 +472,10 @@ func (r *request) kernelDone(kernel string, at sim.Time) {
 // finishRequest records latency and QoS accounting.
 func (r *request) finishRequest(ok bool) {
 	sv := r.sv
+	if r.done {
+		return
+	}
+	r.done = true
 	sv.inFlight--
 	if !ok {
 		if r.span != nil {
@@ -557,6 +663,10 @@ func (sv *Server) provisionBitstreams() {
 	}
 }
 
+// FaultInjector returns the attached fault injector (nil when faults
+// are disabled) — cmd/polysim prints its scenario summary from it.
+func (sv *Server) FaultInjector() *fault.Injector { return sv.injector }
+
 // LatencySamples returns the post-warmup request latencies observed so
 // far, in insertion order (Percentile queries never reorder the sample).
 // Cached-vs-uncached equivalence tests compare these bitwise.
@@ -618,6 +728,16 @@ type Result struct {
 	CacheHits, CacheMisses int
 	// BoardReconfigs breaks Reconfigs down per FPGA board, in node order.
 	BoardReconfigs []BoardReconfigs
+	// Fault-layer accounting (all zero when no injector is attached).
+	// Shed counts requests rejected at admission under degraded health;
+	// Retries kernel re-placements; TaskFailures tasks lost to boards;
+	// FailedRequests requests dropped after exhausting retries or
+	// surviving capacity; BoardDownEvents distinct down transitions.
+	Shed            int
+	Retries         int
+	TaskFailures    int
+	FailedRequests  int
+	BoardDownEvents int
 }
 
 // String renders the run as the multi-line report cmd/polysim prints:
@@ -644,6 +764,10 @@ func (r Result) String() string {
 		if len(parts) > 0 {
 			fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
 		}
+	}
+	if r.Shed+r.Retries+r.TaskFailures+r.FailedRequests+r.BoardDownEvents > 0 {
+		fmt.Fprintf(&b, "\nfaults    %d shed, %d retries, %d task failures, %d failed requests, %d board-down events",
+			r.Shed, r.Retries, r.TaskFailures, r.FailedRequests, r.BoardDownEvents)
 	}
 	return b.String()
 }
@@ -696,6 +820,11 @@ func (sv *Server) Collect() Result {
 		Power:      sv.powerTS,
 	}
 	res.CacheHits, res.CacheMisses = sv.PlannerCacheStats()
+	res.Shed = sv.shed
+	res.Retries = sv.retries
+	res.TaskFailures = sv.taskFailures
+	res.FailedRequests = sv.failedRequests
+	res.BoardDownEvents = sv.boardDownEvents
 	for _, f := range sv.node.FPGAs {
 		res.Reconfigs += f.Reconfigs()
 		res.BoardReconfigs = append(res.BoardReconfigs, BoardReconfigs{Board: f.Name(), Count: f.Reconfigs()})

@@ -219,6 +219,13 @@ type Scheduler struct {
 	// frontier.
 	gpuCands map[string][]*model.Impl
 
+	// healthEpoch is the runtime's board-health generation counter,
+	// folded into the plan-cache key: any health transition (a board
+	// marked suspect, down, or recovered) bumps it, so plans memoized
+	// under the old health view can never place work on a dead board
+	// even if the visible device vector happens to match.
+	healthEpoch uint64
+
 	// cache memoizes full plans by exact device-state + mode signature;
 	// nil when disabled. keyBuf is the reused key scratch buffer.
 	cache  *PlanCache
@@ -282,6 +289,12 @@ func (s *Scheduler) PlanCacheStats() (hits, misses int) { return s.cache.Stats()
 // PlanCacheLen reports how many distinct device-state signatures are
 // currently memoized.
 func (s *Scheduler) PlanCacheLen() int { return s.cache.Len() }
+
+// SetHealthEpoch folds the runtime's board-health generation into the
+// plan-cache key. Planning itself never reads it — the runtime already
+// excludes unhealthy boards from the device vector — but keying on it
+// guarantees a health transition invalidates every memoized plan.
+func (s *Scheduler) SetHealthEpoch(e uint64) { s.healthEpoch = e }
 
 // defaultSlackFactor leaves 30 % of the bound as queueing headroom.
 const defaultSlackFactor = 0.6
@@ -499,10 +512,34 @@ func (s *Scheduler) Schedule(devices []DeviceState, boundMS float64) (*Plan, err
 	return plan, nil
 }
 
+// PlaceKernel plans a single kernel in isolation against the given device
+// states — the runtime's retry path after a task failure, where only the
+// lost kernel needs a new home and the rest of the request's DAG keeps
+// its placements. It reuses Step 1's placement scoring (EFT plus marginal
+// occupancy, resident-bitstream stickiness, eviction as a last resort)
+// with no predecessor constraints: the failed kernel's inputs are already
+// materialized, so it is ready now.
+func (s *Scheduler) PlaceKernel(kernel string, devices []DeviceState) (*Assignment, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("sched: no devices")
+	}
+	work := append([]DeviceState(nil), devices...)
+	none := map[string]*Assignment{}
+	best := s.findPlacement(kernel, work, none, false)
+	if best == nil {
+		best = s.findPlacement(kernel, work, none, true)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sched: kernel %q has no implementation on any available device", kernel)
+	}
+	return best, nil
+}
+
 // planKey renders the exact planning signature into the reused key
 // buffer: mode fields first, then the device vector.
 func (s *Scheduler) planKey(devices []DeviceState, boundMS float64) []byte {
 	b := s.keyBuf[:0]
+	b = binary.LittleEndian.AppendUint64(b, s.healthEpoch)
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(boundMS))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.loadRPS))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.slack))

@@ -37,8 +37,14 @@ type StaticPlanner struct {
 	impls map[string]*model.Impl
 	order []string
 
+	// healthEpoch mirrors the dynamic scheduler's board-health
+	// generation: folded into the cache key so health transitions
+	// invalidate memoized plans.
+	healthEpoch uint64
+
 	// cache memoizes plans by exact device-state signature — the static
-	// planner has no mode knobs, so the key is just (bound, devices).
+	// planner has no mode knobs, so the key is just (epoch, bound,
+	// devices).
 	cache  *PlanCache
 	keyBuf []byte
 	// scratchWork is the reusable per-call device working copy.
@@ -198,6 +204,40 @@ func (sp *StaticPlanner) partition(devices []DeviceState) map[string]map[string]
 // SetPlanCacheCapacity resizes the plan cache (n <= 0 disables it).
 func (sp *StaticPlanner) SetPlanCacheCapacity(n int) { sp.cache = newPlanCache(n) }
 
+// SetHealthEpoch folds the runtime's board-health generation into the
+// plan-cache key (see Scheduler.SetHealthEpoch).
+func (sp *StaticPlanner) SetHealthEpoch(e uint64) { sp.healthEpoch = e }
+
+// PlaceKernel re-places one kernel after a task failure: the fixed
+// implementation goes to the least-loaded surviving device of the
+// baseline's accelerator family. The hard partition is ignored — a fixed
+// deployment that just lost a board has no better option than sharing
+// the survivors.
+func (sp *StaticPlanner) PlaceKernel(kernel string, devices []DeviceState) (*Assignment, error) {
+	im := sp.impls[kernel]
+	if im == nil {
+		return nil, fmt.Errorf("sched: unknown kernel %q", kernel)
+	}
+	var best *Assignment
+	for di := range devices {
+		d := &devices[di]
+		if d.Class != sp.class {
+			continue
+		}
+		est := d.availableAt(ImplID(im))
+		end := est + d.execMS(im)
+		if best == nil || end < best.EndMS {
+			best = &Assignment{Kernel: kernel, Impl: im, Device: d.Name,
+				StartMS: est, EndMS: end, ExecMS: im.LatencyMS / d.freq(),
+				CommitMS: d.commitMS(im, float64(max(1, im.Config.Batch)))}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sched: no %s device available for kernel %q", sp.class, kernel)
+	}
+	return best, nil
+}
+
 // PlanCacheStats reports the plan cache's hit/miss counters.
 func (sp *StaticPlanner) PlanCacheStats() (hits, misses int) { return sp.cache.Stats() }
 
@@ -212,7 +252,8 @@ func (sp *StaticPlanner) Schedule(devices []DeviceState, boundMS float64) (*Plan
 	if sp.cache == nil {
 		return sp.scheduleCold(devices, boundMS)
 	}
-	key := binary.LittleEndian.AppendUint64(sp.keyBuf[:0], math.Float64bits(boundMS))
+	key := binary.LittleEndian.AppendUint64(sp.keyBuf[:0], sp.healthEpoch)
+	key = binary.LittleEndian.AppendUint64(key, math.Float64bits(boundMS))
 	key = appendPlanKeyDevices(key, devices)
 	sp.keyBuf = key
 	if hit := sp.cache.get(key); hit != nil {

@@ -44,6 +44,10 @@ type Span struct {
 	Violation bool
 	Measured  bool
 	Dropped   bool
+	// Retries counts kernel re-placements the request survived after
+	// device task failures; a dropped request with Retries > 0 exhausted
+	// its retry budget.
+	Retries int
 	// Kernels are the per-kernel placements, in submission order. Entries
 	// are pointers so a record handed out by AddKernel stays valid while
 	// later submissions grow the slice.

@@ -45,6 +45,16 @@ type Sink interface {
 	// the plan's Step-2 energy swap count.
 	PlanUpdate(cacheHit bool, energySwaps int)
 
+	// RequestShed counts a request rejected by admission control because
+	// the degraded node could not meet the latency bound.
+	RequestShed(at sim.Time)
+	// TaskRetry records one kernel-level retry after a device task
+	// failure: the board that lost the task and the kernel re-placed.
+	TaskRetry(device, kernel string, at sim.Time)
+	// BoardHealthChanged records a board health-state transition
+	// (healthy, suspect, down) made by the runtime's monitor.
+	BoardHealthChanged(device, from, to string, at sim.Time)
+
 	// GovernorTransition records a governor mode change and its cause.
 	GovernorTransition(at sim.Time, from, to, cause string)
 	// PowerSample records the node's instantaneous power draw.
@@ -258,6 +268,37 @@ func (r *Recorder) PlanUpdate(cacheHit bool, energySwaps int) {
 	if energySwaps > 0 {
 		r.cSwaps.Add(float64(energySwaps))
 	}
+}
+
+// RequestShed implements Sink.
+func (r *Recorder) RequestShed(at sim.Time) {
+	r.reg.Counter("poly_requests_total", "", "outcome", "shed").Inc()
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "shed", Cat: "fault", Phase: "i", Scope: "t",
+		TS: us(at), PID: r.session, TID: tidRequests})
+	r.mu.Unlock()
+}
+
+// TaskRetry implements Sink.
+func (r *Recorder) TaskRetry(device, kernel string, at sim.Time) {
+	r.reg.Counter("poly_task_retries_total", "Kernel retries after device task failures.",
+		"device", device).Inc()
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "retry:" + kernel, Cat: "fault", Phase: "i", Scope: "t",
+		TS: us(at), PID: r.session, TID: r.boardTID(device),
+		Args: map[string]any{"kernel": kernel}})
+	r.mu.Unlock()
+}
+
+// BoardHealthChanged implements Sink.
+func (r *Recorder) BoardHealthChanged(device, from, to string, at sim.Time) {
+	r.reg.Counter("poly_board_health_transitions_total", "Board health-state transitions.",
+		"device", device, "to", to).Inc()
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "health:" + to, Cat: "fault", Phase: "i", Scope: "t",
+		TS: us(at), PID: r.session, TID: r.boardTID(device),
+		Args: map[string]any{"from": from, "to": to}})
+	r.mu.Unlock()
 }
 
 // GovernorTransition implements Sink.
