@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go test -bench 'Schedule$|ServeSteadyState$' -benchmem -count 6 \
+//	go test -bench 'Schedule$|Serve(SteadyState|HighLoad)$' -benchmem -count 6 \
 //	    ./internal/sched ./internal/runtime | tee bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update bench.txt
@@ -15,8 +15,10 @@
 // -count > 1 the minimum across runs is kept — the minimum is the
 // least-noisy estimator of a benchmark's true cost on shared CI runners.
 // Time regressions are judged on ns/op with a relative threshold
-// (default 20 %); allocs/op is exact in Go benchmarks, so it uses the
-// same threshold but typically fails on any real regression.
+// (default 20 %); allocs/op and B/op are exact in Go benchmarks, so they
+// use the same threshold but typically fail on any real regression.
+// (B/op catches allocation-count-neutral regressions — fewer but much
+// larger allocations — that allocs/op alone would wave through.)
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // Baseline is the checked-in BENCH_BASELINE.json shape.
@@ -70,7 +73,7 @@ func main() {
 
 	if *update {
 		b := Baseline{
-			Note:       "refresh: go test -bench 'Schedule$|ServeSteadyState$' -benchmem -count 6 ./internal/sched ./internal/runtime | go run ./cmd/benchgate -update",
+			Note:       "refresh: go test -bench 'Schedule$|Serve(SteadyState|HighLoad)$' -benchmem -count 6 ./internal/sched ./internal/runtime | go run ./cmd/benchgate -update",
 			Benchmarks: current,
 		}
 		out, err := json.MarshalIndent(b, "", "  ")
@@ -110,15 +113,19 @@ func main() {
 		}
 		nsBad := cur.NsPerOp > ref.NsPerOp*(1+*threshold)
 		allocBad := cur.AllocsPerOp > ref.AllocsPerOp*(1+*threshold)
+		// Old baselines without bytes_per_op (zero) don't gate B/op until
+		// the next -update refresh.
+		byteBad := ref.BytesPerOp > 0 && cur.BytesPerOp > ref.BytesPerOp*(1+*threshold)
 		status := "ok   "
-		if nsBad || allocBad {
+		if nsBad || allocBad || byteBad {
 			status = "FAIL "
 			regressed = true
 		}
-		fmt.Printf("%s %-50s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
+		fmt.Printf("%s %-50s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %8.0f -> %8.0f (%+6.1f%%)  B/op %10.0f -> %10.0f (%+6.1f%%)\n",
 			status, name,
 			ref.NsPerOp, cur.NsPerOp, delta(ref.NsPerOp, cur.NsPerOp),
-			ref.AllocsPerOp, cur.AllocsPerOp, delta(ref.AllocsPerOp, cur.AllocsPerOp))
+			ref.AllocsPerOp, cur.AllocsPerOp, delta(ref.AllocsPerOp, cur.AllocsPerOp),
+			ref.BytesPerOp, cur.BytesPerOp, delta(ref.BytesPerOp, cur.BytesPerOp))
 	}
 	for name := range base.Benchmarks {
 		if _, ok := current[name]; !ok {
@@ -155,9 +162,9 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 			continue
 		}
 		name := stripProcs(fields[0])
-		var ns, allocs float64
-		ns = math.NaN()
-		allocs = math.NaN()
+		ns := math.NaN()
+		allocs := math.NaN()
+		bytes := math.NaN()
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -168,6 +175,8 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 				ns = v
 			case "allocs/op":
 				allocs = v
+			case "B/op":
+				bytes = v
 			}
 		}
 		if math.IsNaN(ns) {
@@ -176,12 +185,18 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 		if math.IsNaN(allocs) {
 			allocs = 0
 		}
+		if math.IsNaN(bytes) {
+			bytes = 0
+		}
 		e, seen := out[name]
 		if !seen || ns < e.NsPerOp {
 			e.NsPerOp = ns
 		}
 		if !seen || allocs < e.AllocsPerOp {
 			e.AllocsPerOp = allocs
+		}
+		if !seen || bytes < e.BytesPerOp {
+			e.BytesPerOp = bytes
 		}
 		out[name] = e
 	}

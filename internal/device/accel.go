@@ -44,6 +44,71 @@ type Task struct {
 	// nil, in which case the task silently disappears (the runtime always
 	// sets it when fault injection is active).
 	OnFail func(at sim.Time)
+
+	// Owner, when set, receives the lifecycle callbacks instead of the
+	// OnStart/OnDone/OnFail fields. Pooled owners (the runtime's request
+	// objects) use it to avoid allocating three closures per task; the
+	// func fields remain for ad-hoc callers.
+	Owner TaskOwner
+	// Device is the board name the task was submitted to; owner-based
+	// callers set it so the Owner callbacks can attribute the task
+	// without a captured closure.
+	Device string
+	// KernelIdx is the owner's dense kernel index for Kernel (see
+	// runtime's program interning); opaque to the device layer.
+	KernelIdx int32
+	// PredictedEndMS carries the plan's predicted completion time for
+	// fault-monitor comparison at fire time.
+	PredictedEndMS float64
+
+	// fpga backlinks the board while an FPGA completion event for this
+	// task is in flight (closure-free completion dispatch).
+	fpga *FPGADevice
+}
+
+// TaskOwner receives a task's lifecycle callbacks. It is the
+// allocation-free alternative to the OnStart/OnDone/OnFail fields: one
+// long-lived owner serves every task it submits, with the task itself
+// carrying the per-task context (Device, KernelIdx, PredictedEndMS).
+type TaskOwner interface {
+	// TaskStarted fires when the device begins executing the task.
+	TaskStarted(t *Task, at sim.Time)
+	// TaskDone fires when the task completes.
+	TaskDone(t *Task, at sim.Time)
+	// TaskFailed fires instead of TaskDone when the board loses the task.
+	TaskFailed(t *Task, at sim.Time)
+}
+
+// started/done/fail dispatch a lifecycle callback, preferring Owner.
+
+func (t *Task) started(at sim.Time) {
+	if t.Owner != nil {
+		t.Owner.TaskStarted(t, at)
+		return
+	}
+	if t.OnStart != nil {
+		t.OnStart(at)
+	}
+}
+
+func (t *Task) done(at sim.Time) {
+	if t.Owner != nil {
+		t.Owner.TaskDone(t, at)
+		return
+	}
+	if t.OnDone != nil {
+		t.OnDone(at)
+	}
+}
+
+func (t *Task) fail(at sim.Time) {
+	if t.Owner != nil {
+		t.Owner.TaskFailed(t, at)
+		return
+	}
+	if t.OnFail != nil {
+		t.OnFail(at)
+	}
 }
 
 // FaultHook lets a fault-injection layer perturb a board's behavior.
@@ -128,10 +193,12 @@ func (b *accelBase) down() bool {
 // deferring keeps the failure callback (which typically re-submits the
 // task elsewhere) out of the device's own queue manipulation.
 func (b *accelBase) failTask(t *Task) {
-	if t.OnFail != nil {
-		b.sim.After(0, func() { t.OnFail(b.sim.Now()) })
+	if t.Owner != nil || t.OnFail != nil {
+		b.sim.AfterCall(0, fireTaskFail, t)
 	}
 }
+
+func fireTaskFail(at sim.Time, a any) { a.(*Task).fail(at) }
 
 // execScale returns the fault layer's duration multiplier (1 when off).
 func (b *accelBase) execScale(implID string) float64 {
@@ -189,6 +256,22 @@ type GPUDevice struct {
 	launches int
 	tasks    int
 	busyMS   float64
+
+	// batchBuf holds the in-flight launch's batch until its completion
+	// event fires; only one launch runs at a time, so one buffer
+	// suffices. keepBuf is launch's scratch for the queue remainder and
+	// nfaGroups is NextFreeAt's batch-compression scratch — all reused
+	// across calls so the steady-state hot path allocates nothing.
+	batchBuf  []*Task
+	keepBuf   []*Task
+	nfaGroups []gpuGroup
+}
+
+// gpuGroup accumulates NextFreeAt's per-kernel queue compression.
+type gpuGroup struct {
+	kernel string
+	n, cap int
+	lat    float64
 }
 
 // NewGPU attaches a simulated GPU board to a simulator.
@@ -255,8 +338,19 @@ func (g *GPUDevice) Submit(t *Task) {
 		// (Re-)evaluate at the next event boundary: a new arrival may
 		// complete a batch that was waiting on its window.
 		g.pending = true
-		g.sim.After(0, g.launch)
+		g.sim.AfterCall(0, fireGPULaunch, g)
 	}
+}
+
+func fireGPULaunch(_ sim.Time, a any) { a.(*GPUDevice).launch() }
+
+func fireGPUDone(now sim.Time, a any) {
+	g := a.(*GPUDevice)
+	g.running = false
+	for _, t := range g.batchBuf {
+		t.done(now)
+	}
+	g.launch()
 }
 
 // launch forms a batch from the queue head and executes it. When the head
@@ -301,8 +395,8 @@ func (g *GPUDevice) launch() {
 	// variant): fragmenting batches by directive variant would collapse
 	// the GPU's throughput exactly when the scheduler is load-balancing
 	// variants under pressure.
-	batch := make([]*Task, 0, cap)
-	keep := make([]*Task, 0, len(g.queue))
+	batch := g.batchBuf[:0]
+	keep := g.keepBuf[:0]
 	for _, t := range g.queue {
 		if len(batch) < cap && t.Kernel == head.Kernel {
 			batch = append(batch, t)
@@ -310,17 +404,21 @@ func (g *GPUDevice) launch() {
 			keep = append(keep, t)
 		}
 	}
+	g.batchBuf, g.keepBuf = batch, keep
 	if len(batch) < cap && head.WindowMS > 0 {
 		deadline := head.enqueuedAt + sim.Time(head.WindowMS)
 		if g.sim.Now() < deadline {
 			// Re-assemble the original queue order and wait out the window.
-			g.queue = append(batch, keep...)
+			q := g.queue[:0]
+			q = append(q, batch...)
+			q = append(q, keep...)
+			g.queue = q
 			g.pending = true
-			g.sim.At(deadline, g.launch)
+			g.sim.AtCall(deadline, fireGPULaunch, g)
 			return
 		}
 	}
-	g.queue = keep
+	g.queue = append(g.queue[:0], keep...)
 
 	lvl := g.spec.DVFS[g.level]
 	latMS := head.LatencyMS
@@ -346,24 +444,15 @@ func (g *GPUDevice) launch() {
 		g.obs.Launched(g.name, head.Kernel, powerRef.ImplID, len(batch), start, start+dur)
 	}
 	for _, t := range batch {
-		if t.OnStart != nil {
-			t.OnStart(start)
-		}
+		t.started(start)
 	}
 	g.running = true
 	active := g.spec.IdlePowerW + (powerRef.PowerW-g.spec.IdlePowerW)*lvl.PowerScale
 	g.setPower(active)
 	g.freeAt = g.sim.Now() + dur
-	g.sim.After(dur, func() {
-		done := g.sim.Now()
-		g.running = false
-		for _, t := range batch {
-			if t.OnDone != nil {
-				t.OnDone(done)
-			}
-		}
-		g.launch()
-	})
+	// The batch stays parked in g.batchBuf until fireGPUDone walks it;
+	// g.running guarantees no second launch reuses the buffer meanwhile.
+	g.sim.AfterCall(dur, fireGPUDone, g)
 }
 
 // NextFreeAt reports when the board could start another launch, counting
@@ -375,20 +464,23 @@ func (g *GPUDevice) NextFreeAt() sim.Time {
 	}
 	lvl := g.spec.DVFS[g.level]
 	// Pending queue work, batch-compressed: each implementation's queued
-	// tasks coalesce into ceil(n/batch) launches.
-	type group struct {
-		n, cap int
-		lat    float64
-	}
-	groups := map[string]*group{}
-	var order []string
+	// tasks coalesce into ceil(n/batch) launches. Groups accumulate in
+	// first-seen order in a reusable scratch slice (a handful of kernels
+	// at most, so the linear lookup beats a map and allocates nothing).
+	groups := g.nfaGroups[:0]
 	for _, t := range g.queue {
-		gr := groups[t.Kernel]
-		if gr == nil {
-			gr = &group{cap: 1}
-			groups[t.Kernel] = gr
-			order = append(order, t.Kernel)
+		gi := -1
+		for i := range groups {
+			if groups[i].kernel == t.Kernel {
+				gi = i
+				break
+			}
 		}
+		if gi < 0 {
+			groups = append(groups, gpuGroup{kernel: t.Kernel, cap: 1})
+			gi = len(groups) - 1
+		}
+		gr := &groups[gi]
 		if t.Batch > gr.cap {
 			gr.cap = t.Batch
 		}
@@ -397,8 +489,9 @@ func (g *GPUDevice) NextFreeAt() sim.Time {
 		}
 		gr.n++
 	}
-	for _, id := range order {
-		gr := groups[id]
+	g.nfaGroups = groups
+	for i := range groups {
+		gr := &groups[i]
 		launches := (gr.n + gr.cap - 1) / gr.cap
 		at += sim.Time(float64(launches) * gr.lat / lvl.FreqScale)
 	}
@@ -566,12 +659,12 @@ func (f *FPGADevice) drain() {
 			f.loaded = t.ImplID
 		}
 		f.nextInit = f.sim.Now() + sim.Time(f.spec.ReconfigMS)
-		f.sim.At(f.nextInit, f.drain)
+		f.sim.AtCall(f.nextInit, fireFPGADrain, f)
 		return
 	}
 	now := f.sim.Now()
 	if now < f.nextInit {
-		f.sim.At(f.nextInit, f.drain)
+		f.sim.AtCall(f.nextInit, fireFPGADrain, f)
 		return
 	}
 	f.queue = f.queue[1:]
@@ -590,22 +683,26 @@ func (f *FPGADevice) drain() {
 	if f.obs != nil {
 		f.obs.Launched(f.name, t.Kernel, t.ImplID, 1, now, now+lat)
 	}
-	if t.OnStart != nil {
-		t.OnStart(now)
-	}
-	f.sim.After(lat, func() {
-		f.inflight--
-		if t.OnDone != nil {
-			t.OnDone(f.sim.Now())
-		}
-		if f.inflight == 0 && len(f.queue) == 0 {
-			f.setPower(f.spec.IdlePowerW)
-		}
-	})
+	t.started(now)
+	t.fpga = f
+	f.sim.AfterCall(lat, fireFPGATaskDone, t)
 	if len(f.queue) > 0 {
-		f.sim.At(f.nextInit, f.drain)
+		f.sim.AtCall(f.nextInit, fireFPGADrain, f)
 	} else {
 		f.draining = false
+	}
+}
+
+func fireFPGADrain(_ sim.Time, a any) { a.(*FPGADevice).drain() }
+
+func fireFPGATaskDone(now sim.Time, a any) {
+	t := a.(*Task)
+	f := t.fpga
+	t.fpga = nil
+	f.inflight--
+	t.done(now)
+	if f.inflight == 0 && len(f.queue) == 0 {
+		f.setPower(f.spec.IdlePowerW)
 	}
 }
 

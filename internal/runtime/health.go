@@ -186,11 +186,12 @@ func (sv *Server) observeCompletion(board string, predictedMS, observedMS float6
 	}
 }
 
-// kernelFailed is a task's OnFail path: the board just lost this
+// kernelFailed is a task's TaskFailed path: the board just lost this
 // kernel. Mark the board, then either re-place the kernel on surviving
 // capacity or — once the retry budget is spent or no device can host
-// it — drop the request.
-func (r *request) kernelFailed(kernel, board string, at sim.Time) {
+// it — drop the request. The re-placement is written to the request's
+// own assign slot, never the shared immutable plan.
+func (r *request) kernelFailed(ki int32, board string, at sim.Time) {
 	sv := r.sv
 	if r.done {
 		return
@@ -210,6 +211,7 @@ func (r *request) kernelFailed(kernel, board string, at sim.Time) {
 	if r.span != nil {
 		r.span.Retries = r.retries
 	}
+	kernel := sv.pi.names[ki]
 	if sv.tel != nil {
 		sv.tel.TaskRetry(board, kernel, at)
 	}
@@ -225,9 +227,9 @@ func (r *request) kernelFailed(kernel, board string, at sim.Time) {
 		drop()
 		return
 	}
-	r.plan.Assignments[kernel] = a
+	r.assign[ki] = a
 	if a.Impl.Platform == device.FPGA {
 		sv.intended[a.Device] = a.Impl.ID
 	}
-	r.submit(kernel)
+	r.submit(ki)
 }

@@ -165,3 +165,32 @@ func BenchmarkServeSteadyState(b *testing.B) {
 		b.ReportMetric(float64(hits)/float64(hits+misses), "hitRate")
 	}
 }
+
+// BenchmarkServeHighLoad is the saturation companion to SteadyState: 5×
+// the arrival rate, so queues stay deep, GPU batches fill, and the
+// admission-time device signature varies far more (lower cache hit rate,
+// more cold planning). It gates the cold-path planner and the event core
+// under backlog, where the steady-state benchmark mostly gates the cache.
+func BenchmarkServeHighLoad(b *testing.B) {
+	bench := benches(b, "ASR")[cluster.HeterPoly]
+	const (
+		rps        = 200.0
+		durationMS = 5000.0
+	)
+	var hits, misses int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv := polySession(b, bench, -1, Options{WarmupMS: 1000})
+		NewWorkload(1).InjectConstant(sv, rps, 0, sim.Time(durationMS))
+		res := sv.Collect()
+		if res.PlanErrors != 0 {
+			b.Fatalf("%d plan errors", res.PlanErrors)
+		}
+		hits, misses = sv.PlannerCacheStats()
+	}
+	b.StopTimer()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hitRate")
+	}
+}

@@ -116,6 +116,17 @@ type Server struct {
 	// retaining anything, so the snapshot never needs to survive a call.
 	devScratch []sched.DeviceState
 
+	// pi is the program interned to dense kernel indices (built once in
+	// NewServer); reqFree/taskFree/propFree are the free lists the serving
+	// loop recycles request, task, and edge-propagation objects through.
+	// Recycling is safe because every object counts its outstanding
+	// callbacks (request.refs) or is released exactly at its single
+	// callback (tasks, edge props).
+	pi       progIndex
+	reqFree  []*request
+	taskFree []*device.Task
+	propFree []*edgeProp
+
 	// tel is the telemetry sink (nil = disabled). govMode tracks the
 	// governor's operating mode for transition events; lastCacheHits
 	// lets admit turn the planner's cumulative cache counters into
@@ -170,6 +181,7 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 	if len(sv.accels) == 0 {
 		return nil, fmt.Errorf("runtime: node has no accelerators")
 	}
+	sv.buildProgIndex()
 	if opts.Faults != nil && opts.Faults.Enabled() {
 		boards := make([]string, 0, len(sv.accels))
 		for _, g := range node.GPUs {
@@ -204,9 +216,54 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 	}
 	sv.powerTS.Add(sv.sim.Now(), node.PowerW())
 	if opts.Governor {
-		sv.sim.After(sim.Duration(opts.GovernorPeriodMS), sv.governorTick)
+		sv.sim.AfterCall(sim.Duration(opts.GovernorPeriodMS), fireGovernorTick, sv)
 	}
 	return sv, nil
+}
+
+// progIndex is the program interned to dense kernel indices, built once
+// per server so the per-request DAG bookkeeping is flat-slice arithmetic
+// instead of string-keyed maps: predCount is the waiting-counter template
+// each admit copies, sources lists the zero-predecessor kernels in
+// declaration order, and succs carries each kernel's out-edges with the
+// PCIe transfer cost precomputed from the edge's byte volume.
+type progIndex struct {
+	names     []string
+	kidx      map[string]int32
+	predCount []int32
+	sources   []int32
+	succs     [][]succEdge
+}
+
+// succEdge is one DAG out-edge in dense-index form.
+type succEdge struct {
+	to         int32
+	transferMS float64
+}
+
+func (sv *Server) buildProgIndex() {
+	ks := sv.prog.Kernels()
+	pi := &sv.pi
+	pi.names = make([]string, len(ks))
+	pi.kidx = make(map[string]int32, len(ks))
+	for i, k := range ks {
+		pi.names[i] = k.Name
+		pi.kidx[k.Name] = int32(i)
+	}
+	pi.predCount = make([]int32, len(ks))
+	pi.succs = make([][]succEdge, len(ks))
+	for i, k := range ks {
+		pi.predCount[i] = int32(len(sv.prog.Preds(k.Name)))
+		if pi.predCount[i] == 0 {
+			pi.sources = append(pi.sources, int32(i))
+		}
+		for _, e := range sv.prog.Succs(k.Name) {
+			pi.succs[i] = append(pi.succs[i], succEdge{
+				to:         pi.kidx[e.To],
+				transferMS: sv.node.PCIe.TransferMS(e.Bytes),
+			})
+		}
+	}
 }
 
 // setGovernorMode tracks the governor's operating mode and emits a
@@ -277,27 +334,105 @@ func (sv *Server) deviceStates() []sched.DeviceState {
 // Inject schedules one request arrival at the given absolute time.
 func (sv *Server) Inject(at sim.Time) {
 	sv.pendingArrivals++
-	sv.sim.At(at, sv.admit)
+	sv.sim.AtCall(at, fireAdmit, sv)
 }
 
-// request tracks one in-flight request's DAG progress.
+func fireAdmit(_ sim.Time, a any) { a.(*Server).admit() }
+
+// request tracks one in-flight request's DAG progress. Requests are
+// pooled: admit pulls one from the server's free list and maybeRelease
+// returns it once the request is done AND refs — the count of scheduled
+// callbacks (submitted tasks, in-flight edge propagations) that still
+// hold the pointer — drains to zero. Stragglers from a dropped request
+// therefore keep it out of the pool until they land.
 type request struct {
 	sv        *Server
 	arrivedAt sim.Time
 	plan      *sched.Plan
-	waiting   map[string]int // kernel → unfinished predecessor count
+	// assign maps dense kernel index → effective assignment. Entries
+	// start out aliasing the shared immutable plan and are repointed to
+	// request-private Assignments on failure retries (the PlanView-style
+	// rebase — the plan itself is never written).
+	assign []*sched.Assignment
+	// waiting counts unfinished predecessors per kernel index; admit
+	// copies it from the progIndex template.
+	waiting   []int32
 	remaining int
 	// windowMS is the per-kernel batching budget: the plan's remaining
 	// latency slack split across its batched (GPU) stages, so waiting to
 	// fill batches can never by itself break the bound.
 	windowMS float64
-	// span is the request's telemetry record (nil when disabled).
+	// span is the request's telemetry record (nil when disabled); ks is
+	// the per-kernel span, indexed like assign.
 	span *telemetry.Span
+	ks   []*telemetry.KernelSpan
+	// refs counts outstanding callbacks holding this request.
+	refs int
 	// retries counts kernel re-placements after task failures; done
 	// latches completion so late callbacks from an already-dropped
 	// request (tasks still draining on other boards) can't double-count.
 	retries int
 	done    bool
+}
+
+// edgeProp is the pooled argument for one DAG edge's delayed arrival at
+// its successor kernel.
+type edgeProp struct {
+	r    *request
+	succ int32
+}
+
+func (sv *Server) acquireRequest() *request {
+	if n := len(sv.reqFree); n > 0 {
+		r := sv.reqFree[n-1]
+		sv.reqFree = sv.reqFree[:n-1]
+		return r
+	}
+	return &request{}
+}
+
+func (sv *Server) acquireTask() *device.Task {
+	if n := len(sv.taskFree); n > 0 {
+		t := sv.taskFree[n-1]
+		sv.taskFree = sv.taskFree[:n-1]
+		return t
+	}
+	return &device.Task{}
+}
+
+// releaseTask recycles a task whose single lifecycle callback has fired;
+// the device layer never touches a task after done/fail.
+func (sv *Server) releaseTask(t *device.Task) {
+	*t = device.Task{}
+	sv.taskFree = append(sv.taskFree, t)
+}
+
+func (sv *Server) acquireProp() *edgeProp {
+	if n := len(sv.propFree); n > 0 {
+		p := sv.propFree[n-1]
+		sv.propFree = sv.propFree[:n-1]
+		return p
+	}
+	return &edgeProp{}
+}
+
+// maybeRelease recycles the request once it is finished and no scheduled
+// callback still references it. The sv==nil check makes it idempotent.
+func (r *request) maybeRelease() {
+	sv := r.sv
+	if sv == nil || !r.done || r.refs != 0 {
+		return
+	}
+	r.sv = nil
+	r.plan = nil
+	r.span = nil
+	for i := range r.assign {
+		r.assign[i] = nil
+	}
+	for i := range r.ks {
+		r.ks[i] = nil
+	}
+	sv.reqFree = append(sv.reqFree, r)
 }
 
 // admit plans and launches a request at the current instant.
@@ -354,119 +489,170 @@ func (sv *Server) admit() {
 		span.EnergySwaps = plan.EnergySwaps
 	}
 	sv.inFlight++
-	// Walk assignments in planned start order: when a plan places two
-	// kernels on the same board, the later one's bitstream is the
-	// residency the board ends up with. (plan.Assignments is a map —
-	// ranging over it directly would make the winner random.)
-	for _, a := range plan.Order() {
-		if a.Impl.Platform == device.FPGA {
-			sv.intended[a.Device] = a.Impl.ID
-		}
-	}
-	r := &request{
-		sv:        sv,
-		arrivedAt: sv.sim.Now(),
-		plan:      plan,
-		waiting:   make(map[string]int),
-		remaining: len(plan.Assignments),
-		span:      span,
-	}
+	pi := &sv.pi
+	nk := len(pi.names)
+	r := sv.acquireRequest()
+	r.sv = sv
+	r.arrivedAt = sv.sim.Now()
+	r.plan = plan
+	r.span = span
+	r.remaining = len(plan.Assignments)
+	r.refs = 0
+	r.retries = 0
+	r.done = false
 	// Batches form from the queue: arrivals during a running launch
 	// coalesce into the next one, which self-balances with load. A fixed
 	// accumulation window is kept tiny — just enough to merge
 	// near-simultaneous arrivals without spending the latency budget.
 	r.windowMS = 2
-	for _, k := range sv.prog.Kernels() {
-		r.waiting[k.Name] = len(sv.prog.Preds(k.Name))
+	if cap(r.assign) < nk {
+		r.assign = make([]*sched.Assignment, nk)
+		r.ks = make([]*telemetry.KernelSpan, nk)
+	} else {
+		// maybeRelease cleared the recycled slots.
+		r.assign = r.assign[:nk]
+		r.ks = r.ks[:nk]
 	}
-	// Submit sources in declaration order for determinism.
-	for _, k := range sv.prog.Kernels() {
-		if r.waiting[k.Name] == 0 {
-			r.submit(k.Name)
+	r.waiting = append(r.waiting[:0], pi.predCount...)
+	// One walk over the assignments in planned start order both indexes
+	// them by kernel and records intended FPGA residency: when a plan
+	// places two kernels on the same board, the later one's bitstream is
+	// the residency the board ends up with. (plan.Assignments is a map —
+	// ranging over it directly would make the winner random.)
+	for _, a := range plan.Order() {
+		r.assign[pi.kidx[a.Kernel]] = a
+		if a.Impl.Platform == device.FPGA {
+			sv.intended[a.Device] = a.Impl.ID
 		}
 	}
+	// Submit sources in declaration order for determinism.
+	for _, ki := range pi.sources {
+		r.submit(ki)
+	}
+	r.maybeRelease()
 }
 
-// submit dispatches one kernel's task to its planned device.
-func (r *request) submit(kernel string) {
-	a := r.plan.Assignments[kernel]
-	accel := r.sv.accels[a.Device]
+// submit dispatches one kernel's task to its planned device. The task is
+// pooled and carries the request as its Owner plus the per-task context
+// (device, kernel index, predicted finish) the lifecycle callbacks need —
+// no closures are allocated on this path.
+func (r *request) submit(ki int32) {
+	sv := r.sv
+	a := r.assign[ki]
+	accel := sv.accels[a.Device]
 	if accel == nil {
 		// The planner referenced an unknown device — drop the request
 		// rather than corrupt accounting.
-		r.sv.planErrors++
-		if r.sv.tel != nil {
-			r.sv.tel.PlanError(r.sv.sim.Now())
+		sv.planErrors++
+		if sv.tel != nil {
+			sv.tel.PlanError(sv.sim.Now())
 		}
 		r.finishRequest(false)
 		return
 	}
 	if accel.Class() == device.GPU {
-		r.sv.gpuTasks++
+		sv.gpuTasks++
 	} else {
-		r.sv.fpgaTasks++
+		sv.fpgaTasks++
 	}
-	task := &device.Task{
-		Kernel:     kernel,
-		ImplID:     a.Impl.ID,
-		LatencyMS:  a.Impl.LatencyMS,
-		IntervalMS: a.Impl.IntervalMS,
-		Batch:      a.Impl.Config.Batch,
-		PowerW:     a.Impl.PowerW,
-		OnDone:     func(at sim.Time) { r.kernelDone(kernel, at) },
+	t := sv.acquireTask()
+	*t = device.Task{
+		Kernel:         a.Kernel,
+		ImplID:         a.Impl.ID,
+		LatencyMS:      a.Impl.LatencyMS,
+		IntervalMS:     a.Impl.IntervalMS,
+		Batch:          a.Impl.Config.Batch,
+		PowerW:         a.Impl.PowerW,
+		Owner:          r,
+		Device:         a.Device,
+		KernelIdx:      ki,
+		PredictedEndMS: a.EndMS,
 	}
 	if r.span != nil {
-		ks := r.span.AddKernel(kernel, a.Device, sched.ImplID(a.Impl), float64(r.sv.sim.Now()))
-		task.OnStart = func(at sim.Time) { ks.StartMS = float64(at) }
-		task.OnDone = func(at sim.Time) {
-			ks.EndMS = float64(at)
-			r.kernelDone(kernel, at)
-		}
+		r.ks[ki] = r.span.AddKernel(a.Kernel, a.Device, sched.ImplID(a.Impl), float64(sv.sim.Now()))
 	}
-	if r.sv.injector != nil {
-		// Fault machinery: a lost task re-enters via kernelFailed, and
-		// every completion feeds the deviation monitor (observed progress
-		// vs the plan's predicted finish for this kernel). Both wrappers
-		// exist only when an injector is attached, keeping the fault-free
-		// path bit-identical.
-		task.OnFail = func(at sim.Time) { r.kernelFailed(kernel, a.Device, at) }
-		inner := task.OnDone
-		predicted := a.EndMS
-		task.OnDone = func(at sim.Time) {
-			r.sv.observeCompletion(a.Device, predicted, float64(at-r.arrivedAt), at)
-			inner(at)
-		}
+	if t.Batch > 1 {
+		t.WindowMS = r.windowMS
 	}
-	if task.Batch > 1 {
-		task.WindowMS = r.windowMS
+	r.refs++
+	accel.Submit(t)
+}
+
+// TaskStarted implements device.TaskOwner: telemetry splits queue time
+// from service time per kernel.
+func (r *request) TaskStarted(t *device.Task, at sim.Time) {
+	if ks := r.ks[t.KernelIdx]; ks != nil {
+		ks.StartMS = float64(at)
 	}
-	accel.Submit(task)
+}
+
+// TaskDone implements device.TaskOwner: feed the fault monitor, stamp
+// telemetry, recycle the task, then propagate DAG completion — the same
+// order the per-task closure stack used.
+func (r *request) TaskDone(t *device.Task, at sim.Time) {
+	sv := r.sv
+	if sv.injector != nil {
+		sv.observeCompletion(t.Device, t.PredictedEndMS, float64(at-r.arrivedAt), at)
+	}
+	ki := t.KernelIdx
+	if ks := r.ks[ki]; ks != nil {
+		ks.EndMS = float64(at)
+	}
+	sv.releaseTask(t)
+	r.refs--
+	r.kernelDone(ki, at)
+	r.maybeRelease()
+}
+
+// TaskFailed implements device.TaskOwner: the board lost this kernel.
+func (r *request) TaskFailed(t *device.Task, at sim.Time) {
+	ki, board := t.KernelIdx, t.Device
+	r.sv.releaseTask(t)
+	r.refs--
+	r.kernelFailed(ki, board, at)
+	r.maybeRelease()
 }
 
 // kernelDone propagates completion to the successors.
-func (r *request) kernelDone(kernel string, at sim.Time) {
+func (r *request) kernelDone(ki int32, at sim.Time) {
 	sv := r.sv
 	if r.done {
 		return // request already dropped; stragglers don't propagate
 	}
-	for _, e := range sv.prog.Succs(kernel) {
-		succ := e.To
+	pa := r.assign[ki]
+	for i := range sv.pi.succs[ki] {
+		e := &sv.pi.succs[ki][i]
 		delay := sim.Duration(0)
-		if pa, ca := r.plan.Assignments[kernel], r.plan.Assignments[succ]; pa != nil && ca != nil && pa.Device != ca.Device {
-			delay = sim.Duration(sv.node.PCIe.TransferMS(e.Bytes))
+		if ca := r.assign[e.to]; pa != nil && ca != nil && pa.Device != ca.Device {
+			delay = sim.Duration(e.transferMS)
 		}
-		succName := succ
-		sv.sim.After(delay, func() {
-			r.waiting[succName]--
-			if r.waiting[succName] == 0 {
-				r.submit(succName)
-			}
-		})
+		p := sv.acquireProp()
+		p.r, p.succ = r, e.to
+		r.refs++
+		sv.sim.AfterCall(delay, fireEdgeArrive, p)
 	}
 	r.remaining--
 	if r.remaining == 0 {
 		r.finishRequest(true)
 	}
+}
+
+// fireEdgeArrive delivers one DAG edge at its successor after the PCIe
+// transfer delay. Deliberately no done-check: edges scheduled before a
+// request was dropped still decrement and may submit their successor,
+// exactly as the closure-based path did.
+func fireEdgeArrive(_ sim.Time, a any) {
+	p := a.(*edgeProp)
+	r, succ := p.r, p.succ
+	p.r = nil
+	sv := r.sv
+	sv.propFree = append(sv.propFree, p)
+	r.refs--
+	r.waiting[succ]--
+	if r.waiting[succ] == 0 {
+		r.submit(succ)
+	}
+	r.maybeRelease()
 }
 
 // finishRequest records latency and QoS accounting.
@@ -505,6 +691,8 @@ func (r *request) finishRequest(ok bool) {
 		sv.tel.FinishSpan(r.span, sv.sim.Now())
 	}
 }
+
+func fireGovernorTick(_ sim.Time, a any) { a.(*Server).governorTick() }
 
 // governorTick is the monitor→model→optimizer cycle: it samples power,
 // estimates the window load, and actuates DVFS / low-power shells.
@@ -585,7 +773,7 @@ func (sv *Server) governorTick() {
 	sv.lastWindow = sv.windowLat
 	sv.windowLat = sim.Sample{}
 	sv.provisionBitstreams()
-	sv.sim.After(sim.Duration(sv.opts.GovernorPeriodMS), sv.governorTick)
+	sv.sim.AfterCall(sim.Duration(sv.opts.GovernorPeriodMS), fireGovernorTick, sv)
 }
 
 // provisionBitstreams keeps every kernel's preferred FPGA implementation

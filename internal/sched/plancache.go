@@ -1,9 +1,11 @@
 package sched
 
 import (
-	"container/list"
 	"encoding/binary"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // PlanCache memoizes complete request plans keyed by an exact signature
@@ -21,27 +23,44 @@ import (
 // presents the same relative state over and over, which is what makes
 // millions of per-request planning calls collapse into lookups.
 //
+// Hits are zero-copy: the cached *Plan itself is returned, shared by
+// every requester. That is sound because plans are sealed at insertion —
+// immutable thereafter (the plancheck build tag turns any mutation into a
+// panic on the next hit) — and callers rebase per-request deviations into
+// their own PlanView instead of editing the plan.
+//
 // Mode changes (throughput mode, slack, load hint, DVFS, residency) are
 // folded into the key rather than flushing entries: when the governor
 // oscillates between operating points, the plans for both points stay
-// warm. Entries evict in LRU order once the capacity is hit.
+// warm.
 //
-// A PlanCache belongs to one planner and, like the planner itself, is not
-// safe for concurrent use. Parallel sweeps give every session its own
-// scheduler, so nothing is shared across goroutines.
+// The cache is sharded 16 ways by key hash with a per-shard RWMutex, so
+// parallel sweep sessions sharing one planner stop contending on a single
+// lock; recency is tracked with atomic stamps from a global clock.
+// Eviction is batched approximate-LRU: overflow evicts the globally
+// oldest-stamped entries (the exact LRU victim in sequential use), plus
+// capacity/8 more so the scan amortizes to O(1) per insert.
 type PlanCache struct {
 	capacity int
-	entries  map[string]*list.Element
-	lru      *list.List // front = most recently used
-	hits     int
-	misses   int
+	clock    atomic.Uint64
+	size     atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	shards   [planCacheShards]planShard
 }
 
-// planCacheEntry is one memoized plan; the cached *Plan is private to the
-// cache and deep-copied on every hit.
-type planCacheEntry struct {
-	key  string
-	plan *Plan
+const planCacheShards = 16
+
+type planShard struct {
+	mu      sync.RWMutex
+	entries map[string]*planEntry
+}
+
+// planEntry is one memoized plan; the stamp is its last-touched tick.
+type planEntry struct {
+	key   string
+	plan  *Plan
+	stamp atomic.Uint64
 }
 
 // defaultPlanCacheCapacity bounds the key space one planner retains.
@@ -57,44 +76,109 @@ func newPlanCache(capacity int) *PlanCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &PlanCache{
-		capacity: capacity,
-		entries:  make(map[string]*list.Element, capacity/4),
-		lru:      list.New(),
+	c := &PlanCache{capacity: capacity}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*planEntry, capacity/(planCacheShards*4)+1)
 	}
+	return c
 }
 
-// get returns the cached plan for the key, or nil. The caller must clone
-// the result before handing it out.
+// shardOf hashes the key (FNV-1a, folded) to a shard index.
+func shardOf(key []byte) int {
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int((h ^ h>>32) & (planCacheShards - 1))
+}
+
+// get returns the cached plan for the key, or nil. The result is the
+// shared sealed plan — callers must not mutate it.
 func (c *PlanCache) get(key []byte) *Plan {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.RLock()
 	// map[string([]byte)] compiles to an allocation-free lookup.
-	el, ok := c.entries[string(key)]
-	if !ok {
-		c.misses++
+	e := sh.entries[string(key)]
+	var p *Plan
+	if e != nil {
+		p = e.plan
+	}
+	sh.mu.RUnlock()
+	if e == nil {
+		c.misses.Add(1)
 		return nil
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*planCacheEntry).plan
+	c.hits.Add(1)
+	e.stamp.Store(c.clock.Add(1))
+	if planCheckEnabled {
+		p.verifySeal()
+	}
+	return p
 }
 
-// put stores a plan under the key, evicting the least-recently-used entry
-// when full. The plan must be a private copy the caller will not mutate.
+// put stores a sealed plan under the key, evicting the oldest-stamped
+// entries when over capacity.
 func (c *PlanCache) put(key []byte, p *Plan) {
-	if el, ok := c.entries[string(key)]; ok {
+	if planCheckEnabled {
+		p.verifySeal()
+	}
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	if e, ok := sh.entries[string(key)]; ok {
 		// Same signature planned twice (e.g. after a stats reset): the
 		// planner is deterministic, so the plans are interchangeable.
-		el.Value.(*planCacheEntry).plan = p
-		c.lru.MoveToFront(el)
+		e.plan = p
+		e.stamp.Store(c.clock.Add(1))
+		sh.mu.Unlock()
 		return
 	}
-	if c.lru.Len() >= c.capacity {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*planCacheEntry).key)
-	}
 	k := string(key)
-	c.entries[k] = c.lru.PushFront(&planCacheEntry{key: k, plan: p})
+	e := &planEntry{key: k, plan: p}
+	e.stamp.Store(c.clock.Add(1))
+	sh.entries[k] = e
+	sh.mu.Unlock()
+	if int(c.size.Add(1)) > c.capacity {
+		c.evictOverflow()
+	}
+}
+
+// evictOverflow drops the oldest-stamped entries until the cache is
+// capacity/8 under capacity. Batching keeps the full scan amortized: at
+// sustained-miss insert rates the scan runs once per capacity/8 inserts.
+func (c *PlanCache) evictOverflow() {
+	need := int(c.size.Load()) - c.capacity
+	if need <= 0 {
+		return
+	}
+	need += c.capacity / 8
+	type victim struct {
+		stamp uint64
+		shard int
+		key   string
+	}
+	var cands []victim
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.RLock()
+		for k, e := range sh.entries {
+			cands = append(cands, victim{stamp: e.stamp.Load(), shard: si, key: k})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].stamp < cands[j].stamp })
+	if need > len(cands) {
+		need = len(cands)
+	}
+	for _, v := range cands[:need] {
+		sh := &c.shards[v.shard]
+		sh.mu.Lock()
+		if e, ok := sh.entries[v.key]; ok && e.stamp.Load() == v.stamp {
+			delete(sh.entries, v.key)
+			c.size.Add(-1)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Len returns the number of cached plans.
@@ -102,7 +186,7 @@ func (c *PlanCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	return c.lru.Len()
+	return int(c.size.Load())
 }
 
 // Stats returns the hit/miss counters accumulated since creation.
@@ -110,7 +194,7 @@ func (c *PlanCache) Stats() (hits, misses int) {
 	if c == nil {
 		return 0, 0
 	}
-	return c.hits, c.misses
+	return int(c.hits.Load()), int(c.misses.Load())
 }
 
 // appendPlanKeyDevices appends the exact device-state signature to b.
@@ -132,26 +216,87 @@ func appendPlanKeyDevices(b []byte, devices []DeviceState) []byte {
 	return b
 }
 
-// clone deep-copies a plan: fresh assignment structs and map, shared
-// (immutable) Impl pointers, and a remapped cached order. Clones are
-// bit-identical to the original in every value the runtime reads.
-func (p *Plan) clone() *Plan {
-	q := &Plan{
-		MakespanMS:  p.MakespanMS,
-		EnergyMJ:    p.EnergyMJ,
-		BoundMS:     p.BoundMS,
-		EnergySwaps: p.EnergySwaps,
-		Assignments: make(map[string]*Assignment, len(p.Assignments)),
+// seal marks a plan immutable before it enters a cache. Under the
+// plancheck build tag it also fingerprints every value the runtime reads,
+// so any later mutation panics on the next cache touch.
+func (p *Plan) seal() {
+	p.sealed = true
+	if planCheckEnabled {
+		p.sum = p.fingerprint()
 	}
-	for k, a := range p.Assignments {
-		cp := *a
-		q.Assignments[k] = &cp
+}
+
+// Sealed reports whether the plan has been frozen for shared use.
+func (p *Plan) Sealed() bool { return p.sealed }
+
+// verifySeal panics if a sealed plan's contents changed since seal time.
+// Only called under the plancheck build tag.
+func (p *Plan) verifySeal() {
+	if !p.sealed {
+		panic("sched: unsealed plan in cache")
 	}
-	if p.order != nil {
-		q.order = make([]*Assignment, len(p.order))
-		for i, a := range p.order {
-			q.order[i] = q.Assignments[a.Kernel]
+	if p.fingerprint() != p.sum {
+		panic("sched: cached plan mutated after seal — plans are shared zero-copy and immutable; rebase per-request changes into a PlanView")
+	}
+}
+
+// fingerprint hashes every plan field the runtime reads (FNV-1a over the
+// ordered assignments and summary scalars).
+func (p *Plan) fingerprint() uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
 		}
 	}
-	return q
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	mix(math.Float64bits(p.MakespanMS))
+	mix(math.Float64bits(p.EnergyMJ))
+	mix(math.Float64bits(p.BoundMS))
+	mix(uint64(p.EnergySwaps))
+	for _, a := range p.Order() {
+		mixStr(a.Kernel)
+		mixStr(a.Device)
+		mixStr(ImplID(a.Impl))
+		mix(math.Float64bits(a.StartMS))
+		mix(math.Float64bits(a.EndMS))
+		mix(math.Float64bits(a.ExecMS))
+		mix(math.Float64bits(a.CommitMS))
+	}
+	return h
+}
+
+// PlanView is a caller-owned, reusable view over a shared immutable Plan:
+// the per-kernel-index assignment pointers start out aliasing the plan's
+// own assignments and may be repointed per request (e.g. a failure-retry
+// re-placement) without touching the plan itself. Reset prepares the view
+// for a new request in O(n) with no allocation after first use.
+type PlanView struct {
+	// Plan is the shared sealed plan this view rebases.
+	Plan *Plan
+	// Assign maps dense kernel index → effective assignment for this
+	// request. Entries may be repointed to request-private Assignments.
+	Assign []*Assignment
+}
+
+// Reset points the view at a plan and clears n assignment slots.
+func (v *PlanView) Reset(p *Plan, n int) {
+	v.Plan = p
+	if cap(v.Assign) < n {
+		v.Assign = make([]*Assignment, n)
+		return
+	}
+	v.Assign = v.Assign[:n]
+	for i := range v.Assign {
+		v.Assign[i] = nil
+	}
 }

@@ -154,9 +154,11 @@ func TestPlanCacheDisabled(t *testing.T) {
 	}
 }
 
-// TestPlanCacheHitIsPrivateCopy checks every hit is a deep copy: mutating
-// one returned plan must not leak into the cache or later hits.
-func TestPlanCacheHitIsPrivateCopy(t *testing.T) {
+// TestPlanCacheHitIsSharedImmutable checks the zero-copy contract: every
+// hit aliases the single sealed plan, with the pre-sorted order pointing
+// into the plan's own assignments, and a PlanView rebases per-request
+// deviations without touching the shared plan.
+func TestPlanCacheHitIsSharedImmutable(t *testing.T) {
 	s, _, _ := buildSched(t)
 	devs := steadyDevices(s)
 	first, _ := scheduleOnce(t, s, devs, 0)
@@ -164,36 +166,51 @@ func TestPlanCacheHitIsPrivateCopy(t *testing.T) {
 	if !hit {
 		t.Fatal("second call must hit")
 	}
-	if first == second {
-		t.Fatal("hits must not alias each other")
+	if first != second {
+		t.Fatal("hits must be zero-copy: same *Plan for the same signature")
 	}
-	for k, a := range first.Assignments {
-		if second.Assignments[k] == a {
-			t.Fatalf("assignment %q aliased across hits", k)
-		}
+	if !second.Sealed() {
+		t.Fatal("cached plan must be sealed")
 	}
-	// Clones carry the pre-sorted order, remapped onto their own structs.
+	// The sealed plan carries its pre-sorted order, consistent with its
+	// own assignment structs.
 	ord := second.Order()
 	if len(ord) != len(second.Assignments) {
-		t.Fatalf("clone order has %d entries, want %d", len(ord), len(second.Assignments))
+		t.Fatalf("order has %d entries, want %d", len(ord), len(second.Assignments))
 	}
 	for _, a := range ord {
 		if second.Assignments[a.Kernel] != a {
-			t.Fatalf("clone order entry %q not remapped to the clone's own assignment", a.Kernel)
+			t.Fatalf("order entry %q does not point at the plan's own assignment", a.Kernel)
 		}
 	}
-	// Sabotage the first plan, then require a fresh hit to be unharmed.
-	for _, a := range first.Assignments {
-		a.StartMS = -1
-		a.EndMS = -1
+	// Per-request deviations go into a caller-owned PlanView, leaving the
+	// shared plan untouched.
+	var v PlanView
+	v.Reset(first, len(ord))
+	for i, a := range ord {
+		v.Assign[i] = a
 	}
+	retry := *ord[0]
+	retry.StartMS = -1
+	v.Assign[0] = &retry
 	third, hit := scheduleOnce(t, s, devs, 0)
 	if !hit {
 		t.Fatal("third call must hit")
 	}
 	for k, a := range third.Assignments {
-		if a.StartMS < 0 || a.EndMS < 0 {
-			t.Fatalf("mutation of a returned plan leaked into the cache (kernel %q)", k)
+		if a.StartMS < 0 {
+			t.Fatalf("view rebase leaked into the shared plan (kernel %q)", k)
+		}
+	}
+	// Reset recycles the view's slot array for the next request.
+	prev := &v.Assign[0]
+	v.Reset(third, len(ord))
+	if &v.Assign[0] != prev {
+		t.Fatal("Reset must reuse the view's assignment slots")
+	}
+	for i := range v.Assign {
+		if v.Assign[i] != nil {
+			t.Fatalf("Reset left slot %d populated", i)
 		}
 	}
 }

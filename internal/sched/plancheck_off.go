@@ -1,0 +1,7 @@
+//go:build !plancheck
+
+package sched
+
+// planCheckEnabled is false in default builds: the immutability guard in
+// the plan cache compiles away entirely. See plancheck_on.go.
+const planCheckEnabled = false

@@ -1,0 +1,28 @@
+//go:build plancheck
+
+package sched
+
+import "testing"
+
+// TestPlanCheckPanicsOnMutatedCachedPlan verifies the debug guard: under
+// the plancheck build tag, mutating a plan after it was sealed into the
+// cache panics on the next cache touch instead of silently corrupting
+// every other request sharing it.
+func TestPlanCheckPanicsOnMutatedCachedPlan(t *testing.T) {
+	s, _, _ := buildSched(t)
+	devs := steadyDevices(s)
+	plan, err := s.Schedule(devs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Sealed() {
+		t.Fatal("cached plan must be sealed")
+	}
+	plan.Order()[0].StartMS += 1 // illegal: the plan is shared zero-copy
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutated sealed plan must panic on the next cache hit")
+		}
+	}()
+	_, _ = s.Schedule(devs, 0)
+}

@@ -23,7 +23,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strings"
 
 	"poly/internal/device"
 	"poly/internal/dse"
@@ -159,6 +161,10 @@ type Plan struct {
 	// finished plans are immutable, so the cache can never go stale.
 	// Callers must treat the returned slice as read-only.
 	order []*Assignment
+	// sealed marks the plan frozen for zero-copy sharing via the plan
+	// cache; sum is its plancheck fingerprint (see plancache.go).
+	sealed bool
+	sum    uint64
 }
 
 // SlackMS returns LB − L (negative when the bound is missed).
@@ -234,11 +240,66 @@ type Scheduler struct {
 	// reused across Schedule calls so steady serving allocates nothing
 	// for device bookkeeping.
 	scratchBase, scratchWork []DeviceState
-	// resimDevs and resimPin are resimulate's reusable scratch state;
-	// swapsBuf backs rankedSwaps' candidate list.
+	// resimDevs is resimulate's reusable device scratch; swapsBuf backs
+	// rankedSwaps' candidate list.
 	resimDevs []DeviceState
-	resimPin  map[string]swapCandidate
 	swapsBuf  []rankedSwap
+
+	// knames/kidx intern the program's kernel names to dense indices in
+	// declaration order; orderIdx is the W_L-descending priority order
+	// expressed in those indices. All planning inner loops are keyed by
+	// index so a cold plan touches no maps and allocates nothing until
+	// the final published Plan is built.
+	knames   []string
+	kidx     map[string]int32
+	orderIdx []int32
+	// predsIdx precomputes each kernel's predecessor edges — with the
+	// PCIe transfer time already priced — in declaration-edge order,
+	// matching Program.Preds exactly.
+	predsIdx [][]predEdge
+	// paretoGPU/paretoFPGA/gpuCandsIdx are the per-kernel candidate
+	// implementation lists resolved to indices once at construction.
+	paretoGPU   [][]*model.Impl
+	paretoFPGA  [][]*model.Impl
+	gpuCandsIdx [][]*model.Impl
+	// states are the current/trial/best placement slabs the two-step
+	// planner double-buffers between; emptySlab is a permanently
+	// unplaced slab for single-kernel placement (PlaceKernel).
+	states    [3]planState
+	emptySlab []Assignment
+}
+
+// predEdge is one interned predecessor edge.
+type predEdge struct {
+	from       int32
+	transferMS float64
+}
+
+// planState is one in-progress placement: a flat per-kernel-index slab of
+// assignment values (Impl == nil while unplaced) plus the running totals.
+// The planner owns three and double-buffers trial placements between
+// them, so repair and energy rounds allocate nothing.
+type planState struct {
+	slab       []Assignment
+	makespanMS float64
+	energyMJ   float64
+}
+
+func (st *planState) reset(nk int) {
+	if cap(st.slab) < nk {
+		st.slab = make([]Assignment, nk)
+	} else {
+		st.slab = st.slab[:nk]
+		for i := range st.slab {
+			st.slab[i] = Assignment{}
+		}
+	}
+	st.makespanMS, st.energyMJ = 0, 0
+}
+
+func (st *planState) copyFrom(src *planState) {
+	st.slab = append(st.slab[:0], src.slab...)
+	st.makespanMS, st.energyMJ = src.makespanMS, src.energyMJ
 }
 
 // New builds a scheduler for a program and its explored design spaces.
@@ -254,7 +315,6 @@ func New(prog *opencl.Program, spaces *dse.KernelSpaces) (*Scheduler, error) {
 	s := &Scheduler{prog: prog, spaces: spaces, pcie: device.DefaultPCIe, slack: defaultSlackFactor,
 		implByID: make(map[string]*model.Impl),
 		gpuCands: make(map[string][]*model.Impl),
-		resimPin: make(map[string]swapCandidate),
 		cache:    newPlanCache(defaultPlanCacheCapacity)}
 	for _, k := range prog.Kernels() {
 		for _, class := range []device.Class{device.GPU, device.FPGA} {
@@ -273,7 +333,56 @@ func New(prog *opencl.Program, spaces *dse.KernelSpaces) (*Scheduler, error) {
 		}
 	}
 	s.computePriorities()
+	s.buildIndex()
 	return s, nil
+}
+
+// buildIndex interns the program's kernels and resolves every per-kernel
+// lookup (priority order, predecessor edges, candidate lists) to dense
+// indices, so the planning inner loops never consult a map.
+func (s *Scheduler) buildIndex() {
+	ks := s.prog.Kernels()
+	nk := len(ks)
+	s.knames = make([]string, nk)
+	s.kidx = make(map[string]int32, nk)
+	for i, k := range ks {
+		s.knames[i] = k.Name
+		s.kidx[k.Name] = int32(i)
+	}
+	s.orderIdx = make([]int32, len(s.order))
+	for i, name := range s.order {
+		s.orderIdx[i] = s.kidx[name]
+	}
+	s.predsIdx = make([][]predEdge, nk)
+	s.paretoGPU = make([][]*model.Impl, nk)
+	s.paretoFPGA = make([][]*model.Impl, nk)
+	s.gpuCandsIdx = make([][]*model.Impl, nk)
+	for i, name := range s.knames {
+		for _, e := range s.prog.Preds(name) {
+			s.predsIdx[i] = append(s.predsIdx[i],
+				predEdge{from: s.kidx[e.From], transferMS: s.transferMS(e)})
+		}
+		if sp := s.spaces.Space(name, device.GPU); sp != nil {
+			s.paretoGPU[i] = sp.Pareto
+		}
+		if sp := s.spaces.Space(name, device.FPGA); sp != nil {
+			s.paretoFPGA[i] = sp.Pareto
+		}
+		s.gpuCandsIdx[i] = s.gpuCands[name]
+	}
+	s.emptySlab = make([]Assignment, nk)
+}
+
+// candidatesIdx returns the Pareto implementations for a kernel index on
+// a device class.
+func (s *Scheduler) candidatesIdx(ki int32, class device.Class) []*model.Impl {
+	if class == device.GPU {
+		return s.paretoGPU[ki]
+	}
+	if class == device.FPGA {
+		return s.paretoFPGA[ki]
+	}
+	return nil
 }
 
 // SetPlanCacheCapacity resizes the plan cache to hold up to n memoized
@@ -466,16 +575,6 @@ func (s *Scheduler) resident(kernel string, d *DeviceState) *model.Impl {
 	return im
 }
 
-// candidates returns the Pareto implementations available for a kernel on
-// a device class.
-func (s *Scheduler) candidates(kernel string, class device.Class) []*model.Impl {
-	sp := s.spaces.Space(kernel, class)
-	if sp == nil {
-		return nil
-	}
-	return sp.Pareto
-}
-
 // Schedule runs both optimization steps for one request. devices is the
 // node's current state; boundMS is the application's latency bound LB
 // (≤0 uses the program's bound). The returned plan never violates a bound
@@ -483,10 +582,12 @@ func (s *Scheduler) candidates(kernel string, class device.Class) []*model.Impl 
 //
 // Plans are memoized: when the node presents a device-state signature the
 // scheduler has planned before — under the same bound, load hint, slack,
-// and throughput mode — the cached plan is returned (as a deep copy) and
-// is bit-identical to what a cold planning run would produce, because
+// and throughput mode — the cached plan itself is returned, zero-copy,
+// and is bit-identical to what a cold planning run would produce, because
 // planning is a pure function of exactly those inputs and all times are
-// relative to the planning instant.
+// relative to the planning instant. Returned plans are immutable (sealed
+// at insertion; the plancheck build tag turns mutation into a panic):
+// callers needing per-request deviations rebase into their own PlanView.
 func (s *Scheduler) Schedule(devices []DeviceState, boundMS float64) (*Plan, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("sched: no devices")
@@ -499,16 +600,17 @@ func (s *Scheduler) Schedule(devices []DeviceState, boundMS float64) (*Plan, err
 	}
 	key := s.planKey(devices, boundMS)
 	if hit := s.cache.get(key); hit != nil {
-		return hit.clone(), nil
+		return hit, nil
 	}
 	plan, err := s.scheduleCold(devices, boundMS)
 	if err != nil {
 		return nil, err
 	}
-	// Pre-sort before caching so every hit's clone carries the start
-	// order and the serving loop never re-sorts.
+	// Pre-sort before sealing so every hit carries the start order and
+	// the serving loop never re-sorts.
 	plan.Order()
-	s.cache.put(key, plan.clone())
+	plan.seal()
+	s.cache.put(key, plan)
 	return plan, nil
 }
 
@@ -523,16 +625,19 @@ func (s *Scheduler) PlaceKernel(kernel string, devices []DeviceState) (*Assignme
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("sched: no devices")
 	}
-	work := append([]DeviceState(nil), devices...)
-	none := map[string]*Assignment{}
-	best := s.findPlacement(kernel, work, none, false)
-	if best == nil {
-		best = s.findPlacement(kernel, work, none, true)
+	ki, ok := s.kidx[kernel]
+	var out Assignment
+	found := false
+	if ok {
+		work := append([]DeviceState(nil), devices...)
+		found = s.findPlacement(ki, work, s.emptySlab, false, &out) ||
+			s.findPlacement(ki, work, s.emptySlab, true, &out)
 	}
-	if best == nil {
+	if !found {
 		return nil, fmt.Errorf("sched: kernel %q has no implementation on any available device", kernel)
 	}
-	return best, nil
+	a := out
+	return &a, nil
 }
 
 // planKey renders the exact planning signature into the reused key
@@ -553,7 +658,9 @@ func (s *Scheduler) planKey(devices []DeviceState, boundMS float64) []byte {
 	return b
 }
 
-// scheduleCold runs the real two-step planner.
+// scheduleCold runs the real two-step planner. All intermediate state
+// lives in the scheduler's reusable slabs; the only retained allocations
+// are the published Plan (one struct, one map, one backing array).
 func (s *Scheduler) scheduleCold(devices []DeviceState, boundMS float64) (*Plan, error) {
 	// Work on copies: planning must not mutate the caller's device view,
 	// and Step 2 replays placements from the same initial state. The
@@ -563,43 +670,63 @@ func (s *Scheduler) scheduleCold(devices []DeviceState, boundMS float64) (*Plan,
 	work := append(s.scratchWork[:0], devices...)
 	s.scratchBase, s.scratchWork = base, work
 
+	cur, trial, best := &s.states[0], &s.states[1], &s.states[2]
+	cur.reset(len(s.knames))
+
 	// Step 1 — latency optimization.
-	choice := make(map[string]*Assignment, len(s.order))
-	for _, kernel := range s.order {
-		if err := s.placeEFT(kernel, work, choice); err != nil {
+	for _, ki := range s.orderIdx {
+		if err := s.placeEFT(ki, work, cur.slab); err != nil {
 			return nil, err
 		}
 	}
-	plan := s.finalize(choice, work, boundMS)
+	s.tally(cur)
 
 	// Step 1.5 — latency repair: greedy per-kernel EFT can strand a DAG
 	// behind one backlogged board. When the planned makespan misses the
 	// bound, retry alternative (device, implementation) placements that
 	// shorten it — the optimizer "mak[ing] an adjustment using the latest
 	// feedback" when the plan is predicted to violate QoS.
-	s.repairLatency(plan, base)
+	s.repairLatency(cur, trial, best, base, boundMS)
 
 	// Step 2 — energy-efficiency optimization on the slack.
-	s.optimizeEnergy(plan, base)
-	return plan, nil
+	swaps := s.optimizeEnergy(cur, trial, base, boundMS)
+	return s.buildPlan(cur, boundMS, swaps), nil
+}
+
+// buildPlan publishes the finished placement as a Plan: one backing array
+// of assignments, one name-keyed map over it.
+func (s *Scheduler) buildPlan(st *planState, boundMS float64, swaps int) *Plan {
+	nk := len(s.knames)
+	backing := make([]Assignment, nk)
+	p := &Plan{Assignments: make(map[string]*Assignment, nk), BoundMS: boundMS,
+		MakespanMS: st.makespanMS, EnergyMJ: st.energyMJ, EnergySwaps: swaps}
+	for ki := 0; ki < nk; ki++ {
+		if st.slab[ki].Impl == nil {
+			continue
+		}
+		backing[ki] = st.slab[ki]
+		p.Assignments[s.knames[ki]] = &backing[ki]
+	}
+	return p
 }
 
 // repairLatency iteratively moves kernels to the placement that most
-// reduces the planned makespan while it exceeds the bound.
-func (s *Scheduler) repairLatency(p *Plan, base []DeviceState) {
-	for round := 0; round < 16 && p.MakespanMS > p.BoundMS; round++ {
-		var best *Plan
+// reduces the planned makespan while it exceeds the bound. Each round
+// resimulates candidate moves into the trial slab and keeps the winner in
+// the best slab; nothing allocates.
+func (s *Scheduler) repairLatency(cur, trial, best *planState, base []DeviceState, boundMS float64) {
+	for round := 0; round < 16 && cur.makespanMS > boundMS; round++ {
+		bestFound := false
 		bestScore := math.Inf(1)
-		var bestKernel string
-		var bestCand swapCandidate
-		for _, kernel := range s.order {
-			a := p.Assignments[kernel]
-			if a == nil {
+		for _, ki := range s.orderIdx {
+			a := &cur.slab[ki]
+			if a.Impl == nil {
 				continue
 			}
+			kernel := s.knames[ki]
 			for di := range base {
 				d := &base[di]
-				all := s.candidates(kernel, d.Class)
+				all := s.candidatesIdx(ki, d.Class)
 				if len(all) == 0 {
 					continue
 				}
@@ -611,7 +738,7 @@ func (s *Scheduler) repairLatency(p *Plan, base []DeviceState) {
 				var candBuf [1]*model.Impl
 				cands := all[:1]
 				if d.Class == device.GPU {
-					cands = s.gpuCands[kernel]
+					cands = s.gpuCandsIdx[ki]
 				}
 				if res := s.resident(kernel, d); res != nil {
 					candBuf[0] = res
@@ -625,31 +752,26 @@ func (s *Scheduler) repairLatency(p *Plan, base []DeviceState) {
 					if im == a.Impl && d.Name == a.Device {
 						continue
 					}
-					trial := s.resimulate(p, base, kernel, swapCandidate{impl: im, device: d.Name})
-					if trial == nil {
+					if !s.resimulate(cur, trial, base, ki, swapCandidate{impl: im, device: d.Name}) {
 						continue
 					}
 					// Score repairs like placements: makespan plus the
 					// marginal occupancy the move leaves behind, so a
 					// batched variant is not beaten by a batch-1 variant
 					// that finishes 2 ms sooner but hogs the device.
-					score := trial.MakespanMS + d.commitMS(im, batchCap(im))
-					if best == nil || score < bestScore {
-						best = trial
+					score := trial.makespanMS + d.commitMS(im, batchCap(im))
+					if !bestFound || score < bestScore {
+						bestFound = true
 						bestScore = score
-						bestKernel, bestCand = kernel, swapCandidate{impl: im, device: d.Name}
+						best.copyFrom(trial)
 					}
 				}
 			}
 		}
-		if best == nil || best.MakespanMS >= p.MakespanMS {
+		if !bestFound || best.makespanMS >= cur.makespanMS {
 			return
 		}
-		_ = bestKernel
-		_ = bestCand
-		swaps := p.EnergySwaps
-		*p = *best
-		p.EnergySwaps = swaps
+		cur.copyFrom(best)
 	}
 }
 
@@ -658,24 +780,22 @@ func (s *Scheduler) repairLatency(p *Plan, base []DeviceState) {
 // pass never evicts another kernel's live FPGA bitstream (evictions under
 // load cause reconfiguration storms); if no placement exists without an
 // eviction, a second pass allows it.
-func (s *Scheduler) placeEFT(kernel string, devices []DeviceState, choice map[string]*Assignment) error {
-	best := s.findPlacement(kernel, devices, choice, false)
-	if best == nil {
-		best = s.findPlacement(kernel, devices, choice, true)
+func (s *Scheduler) placeEFT(ki int32, devices []DeviceState, slab []Assignment) error {
+	if !s.findPlacement(ki, devices, slab, false, &slab[ki]) &&
+		!s.findPlacement(ki, devices, slab, true, &slab[ki]) {
+		return fmt.Errorf("sched: kernel %q has no implementation on any available device", s.knames[ki])
 	}
-	if best == nil {
-		return fmt.Errorf("sched: kernel %q has no implementation on any available device", kernel)
-	}
-	choice[kernel] = best
-	s.commit(best, devices)
+	s.commit(&slab[ki], devices)
 	return nil
 }
 
-func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice map[string]*Assignment, allowEvict bool) *Assignment {
-	// Track the best placement in locals and allocate the Assignment once
-	// at the end: the inner loop runs per (device, candidate) for every
-	// kernel of every request, and an allocation per improvement was a
-	// measurable share of planning garbage.
+// findPlacement scores every (device, candidate) pair for one kernel and
+// writes the winner into out, returning false when no placement exists.
+func (s *Scheduler) findPlacement(ki int32, devices []DeviceState, slab []Assignment, allowEvict bool, out *Assignment) bool {
+	kernel := s.knames[ki]
+	// Track the best placement in locals and write the Assignment once at
+	// the end: the inner loop runs per (device, candidate) for every
+	// kernel of every request.
 	var (
 		found                bool
 		bestScore            = math.Inf(1)
@@ -686,7 +806,7 @@ func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice m
 	)
 	for di := range devices {
 		d := &devices[di]
-		impls := s.candidates(kernel, d.Class)
+		impls := s.candidatesIdx(ki, d.Class)
 		if len(impls) == 0 {
 			continue
 		}
@@ -702,7 +822,7 @@ func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice m
 		var candBuf [1]*model.Impl
 		cands := impls[:1]
 		if d.Class == device.GPU {
-			cands = s.gpuCands[kernel]
+			cands = s.gpuCandsIdx[ki]
 		}
 		if res := s.resident(kernel, d); res != nil {
 			candBuf[0] = res
@@ -712,7 +832,7 @@ func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice m
 				continue // never evict a live bitstream in the first pass
 			}
 		}
-		ready := s.estMS(kernel, d, choice)
+		ready := s.estMS(ki, d, slab)
 		for _, im := range cands {
 			est := ready
 			if avail := d.availableAt(ImplID(im)); avail > est {
@@ -744,25 +864,26 @@ func (s *Scheduler) findPlacement(kernel string, devices []DeviceState, choice m
 		}
 	}
 	if !found {
-		return nil
+		return false
 	}
-	return &Assignment{Kernel: kernel, Impl: bestImpl, Device: bestDev,
+	*out = Assignment{Kernel: kernel, Impl: bestImpl, Device: bestDev,
 		StartMS: bestEst, EndMS: bestEnd, ExecMS: bestExec, CommitMS: bestCommit}
+	return true
 }
 
 // estMS computes the predecessor-readiness part of EST(k_i, d_n)
 // (Eq. 4): finish times plus PCIe transfers when crossing boards. The
 // device-queue part is implementation-specific (availableAt).
-func (s *Scheduler) estMS(kernel string, d *DeviceState, choice map[string]*Assignment) float64 {
+func (s *Scheduler) estMS(ki int32, d *DeviceState, slab []Assignment) float64 {
 	est := 0.0
-	for _, e := range s.prog.Preds(kernel) {
-		pa, ok := choice[e.From]
-		if !ok {
+	for _, e := range s.predsIdx[ki] {
+		pa := &slab[e.from]
+		if pa.Impl == nil {
 			continue // unplaced predecessor: upward rank order prevents this
 		}
 		ready := pa.EndMS
 		if pa.Device != d.Name {
-			ready += s.transferMS(e)
+			ready += e.transferMS
 		}
 		if ready > est {
 			est = ready
@@ -791,60 +912,60 @@ func (s *Scheduler) commit(a *Assignment, devices []DeviceState) {
 	}
 }
 
-// finalize packages the assignments into a plan with makespan and energy.
-// Energy sums in the scheduler's fixed kernel order so identical plans
-// produce bit-identical totals.
-func (s *Scheduler) finalize(choice map[string]*Assignment, devices []DeviceState, boundMS float64) *Plan {
-	p := &Plan{Assignments: choice, BoundMS: boundMS}
-	for _, k := range s.order {
-		a := choice[k]
-		if a == nil {
+// tally recomputes a placement's makespan and energy totals. Sums run in
+// the scheduler's fixed kernel order so identical placements produce
+// bit-identical totals.
+func (s *Scheduler) tally(st *planState) {
+	st.makespanMS, st.energyMJ = 0, 0
+	for _, ki := range s.orderIdx {
+		a := &st.slab[ki]
+		if a.Impl == nil {
 			continue
 		}
-		if a.EndMS > p.MakespanMS {
-			p.MakespanMS = a.EndMS
+		if a.EndMS > st.makespanMS {
+			st.makespanMS = a.EndMS
 		}
 		// Energy charges pure execution: reconfiguration is a one-time
 		// cost amortized across the requests that reuse the bitstream,
 		// so it shapes latency (EndMS) but not the steady-state energy
 		// objective. Batched launches split their energy over the
 		// expected fill.
-		p.EnergyMJ += s.perRequestEnergyMJ(a.Impl, a.ExecMS)
+		st.energyMJ += s.perRequestEnergyMJ(a.Impl, a.ExecMS)
 	}
-	return p
 }
 
 // optimizeEnergy is Step 2: iterate rounds of W_E-ranked implementation
 // swaps, accepting the highest-ranked swap that keeps the plan within the
 // bound and strictly reduces energy, until no swap survives — "Poly
 // iteratively updates the kernels' implementations until the latency
-// slack cannot be further reduced."
-func (s *Scheduler) optimizeEnergy(p *Plan, base []DeviceState) {
-	if p.SlackMS() <= 0 || s.tpMode {
-		return
+// slack cannot be further reduced." Returns the number of swaps applied.
+func (s *Scheduler) optimizeEnergy(cur, trial *planState, base []DeviceState, boundMS float64) int {
+	if boundMS-cur.makespanMS <= 0 || s.tpMode {
+		return 0
 	}
+	swaps := 0
 	for round := 0; round < 64; round++ { // bound defends against cycling
-		swaps := s.rankedSwaps(p, base)
+		ranked := s.rankedSwaps(cur, base, boundMS)
 		accepted := false
-		effBound := p.BoundMS * s.slack
-		if effBound < p.MakespanMS {
-			effBound = p.MakespanMS // never tighter than Step 1 achieved
+		effBound := boundMS * s.slack
+		if effBound < cur.makespanMS {
+			effBound = cur.makespanMS // never tighter than Step 1 achieved
 		}
-		for _, sw := range swaps {
-			trial := s.resimulate(p, base, sw.kernel, sw.swapCandidate)
-			if trial == nil || trial.MakespanMS > effBound || trial.EnergyMJ >= p.EnergyMJ {
+		for _, sw := range ranked {
+			if !s.resimulate(cur, trial, base, sw.ki, sw.swapCandidate) ||
+				trial.makespanMS > effBound || trial.energyMJ >= cur.energyMJ {
 				continue
 			}
-			n := p.EnergySwaps + 1
-			*p = *trial
-			p.EnergySwaps = n
+			cur.copyFrom(trial)
+			swaps++
 			accepted = true
 			break
 		}
 		if !accepted {
-			return
+			return swaps
 		}
 	}
+	return swaps
 }
 
 // swapCandidate is a prospective replacement implementation.
@@ -854,6 +975,7 @@ type swapCandidate struct {
 }
 
 type rankedSwap struct {
+	ki     int32
 	kernel string
 	we     float64
 	swapCandidate
@@ -864,38 +986,42 @@ type rankedSwap struct {
 // for power. Only genuinely energy-saving replacements qualify. The
 // returned slice is scratch owned by the scheduler: it is only read
 // within one optimizeEnergy round and reused by the next call.
-func (s *Scheduler) rankedSwaps(p *Plan, devices []DeviceState) []rankedSwap {
+func (s *Scheduler) rankedSwaps(st *planState, devices []DeviceState, boundMS float64) []rankedSwap {
 	out := s.swapsBuf[:0]
-	for _, kernel := range s.order {
-		a := p.Assignments[kernel]
-		if a == nil {
+	for _, ki := range s.orderIdx {
+		a := &st.slab[ki]
+		if a.Impl == nil {
 			continue
 		}
+		kernel := s.knames[ki]
 		cur := a.Impl
 		curT := a.ExecMS
 		for di := range devices {
 			d := &devices[di]
-			if d.FreeAtMS > 0.2*p.BoundMS {
+			if d.FreeAtMS > 0.2*boundMS {
 				// Trading latency for energy is a light-load move; piling
 				// energy-preferred work onto an already-backlogged board
 				// converts slack into queueing collapse.
 				continue
 			}
-			cands := s.candidates(kernel, d.Class)
+			var candBuf [1]*model.Impl
+			cands := s.candidatesIdx(ki, d.Class)
 			if d.Class == device.FPGA && d.LoadedImpl != "" {
 				res := s.implByID[d.LoadedImpl]
 				switch {
 				case res != nil && res.Kernel == kernel:
 					// Sticky: a board already serving this kernel offers
 					// only its resident bitstream.
-					cands = []*model.Impl{res}
+					candBuf[0] = res
+					cands = candBuf[:1]
 				case res != nil:
 					// Never evict another kernel's live bitstream just to
 					// save energy; blank boards are the swap targets.
 					continue
 				}
 			}
-			var best *rankedSwap
+			var best rankedSwap
+			found := false
 			for _, im := range cands {
 				if im == cur {
 					continue
@@ -907,67 +1033,71 @@ func (s *Scheduler) rankedSwaps(p *Plan, devices []DeviceState) []rankedSwap {
 					continue // no actual energy saving
 				}
 				we := (cur.PowerW - im.PowerW) * (newT - curT)
-				if best == nil || we > best.we {
-					best = &rankedSwap{kernel: kernel, we: we,
+				if !found || we > best.we {
+					found = true
+					best = rankedSwap{ki: ki, kernel: kernel, we: we,
 						swapCandidate: swapCandidate{impl: im, device: d.Name}}
 				}
 			}
-			if best != nil {
-				out = append(out, *best)
+			if found {
+				out = append(out, best)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].we != out[j].we {
-			return out[i].we > out[j].we
+	slices.SortFunc(out, func(a, b rankedSwap) int {
+		if a.we != b.we {
+			if a.we > b.we {
+				return -1
+			}
+			return 1
 		}
-		if out[i].kernel != out[j].kernel {
-			return out[i].kernel < out[j].kernel
+		if a.kernel != b.kernel {
+			return strings.Compare(a.kernel, b.kernel)
 		}
-		return out[i].device < out[j].device
+		return strings.Compare(a.device, b.device)
 	})
 	s.swapsBuf = out
 	return out
 }
 
-// resimulate rebuilds the plan with `kernel` pinned to cand, re-running
-// list scheduling for start/end bookkeeping on a fresh copy of the
-// initial device states.
-func (s *Scheduler) resimulate(p *Plan, base []DeviceState, kernel string, cand swapCandidate) *Plan {
-	// devs and pin are scheduler-owned scratch: resimulate runs inside
-	// tight repair/energy loops and nothing retains either past the call.
+// resimulate rebuilds the placement with the kernel at pinKi moved to
+// cand, re-running list scheduling for start/end bookkeeping on a fresh
+// copy of the initial device states. The result lands in dst; src is
+// untouched. Returns false when the pinned device does not exist.
+func (s *Scheduler) resimulate(src, dst *planState, base []DeviceState, pinKi int32, cand swapCandidate) bool {
+	// devs is scheduler-owned scratch: resimulate runs inside tight
+	// repair/energy loops and nothing retains it past the call.
 	devs := append(s.resimDevs[:0], base...)
 	s.resimDevs = devs
-	pin := s.resimPin
-	clear(pin)
-	for k, a := range p.Assignments {
-		pin[k] = swapCandidate{impl: a.Impl, device: a.Device}
-	}
-	pin[kernel] = cand
-
-	choice := make(map[string]*Assignment, len(s.order))
-	for _, k := range s.order {
-		pc := pin[k]
+	dst.reset(len(s.knames))
+	for _, ki := range s.orderIdx {
+		im, devName := src.slab[ki].Impl, src.slab[ki].Device
+		if ki == pinKi {
+			im, devName = cand.impl, cand.device
+		}
+		if im == nil {
+			continue
+		}
 		var dev *DeviceState
 		for di := range devs {
-			if devs[di].Name == pc.device {
+			if devs[di].Name == devName {
 				dev = &devs[di]
 				break
 			}
 		}
 		if dev == nil {
-			return nil
+			return false
 		}
-		est := s.estMS(k, dev, choice)
-		if avail := dev.availableAt(ImplID(pc.impl)); avail > est {
+		est := s.estMS(ki, dev, dst.slab)
+		if avail := dev.availableAt(ImplID(im)); avail > est {
 			est = avail
 		}
-		a := &Assignment{Kernel: k, Impl: pc.impl, Device: pc.device,
-			StartMS: est, EndMS: est + dev.execMS(pc.impl),
-			ExecMS:   pc.impl.LatencyMS / dev.freq(),
-			CommitMS: dev.commitMS(pc.impl, batchCap(pc.impl))}
-		choice[k] = a
-		s.commit(a, devs)
+		dst.slab[ki] = Assignment{Kernel: s.knames[ki], Impl: im, Device: devName,
+			StartMS: est, EndMS: est + dev.execMS(im),
+			ExecMS:   im.LatencyMS / dev.freq(),
+			CommitMS: dev.commitMS(im, batchCap(im))}
+		s.commit(&dst.slab[ki], devs)
 	}
-	return s.finalize(choice, devs, p.BoundMS)
+	s.tally(dst)
+	return true
 }

@@ -408,7 +408,7 @@ func TestThroughputModeMutesEnergyStep(t *testing.T) {
 func TestLoadHintChangesBatchFill(t *testing.T) {
 	s, _, _ := buildSched(t)
 	var batched *model.Impl
-	for _, im := range s.candidates("k1", device.GPU) {
+	for _, im := range s.candidatesIdx(s.kidx["k1"], device.GPU) {
 		if im.Config.Batch > 1 {
 			batched = im
 			break

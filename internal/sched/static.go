@@ -257,14 +257,15 @@ func (sp *StaticPlanner) Schedule(devices []DeviceState, boundMS float64) (*Plan
 	key = appendPlanKeyDevices(key, devices)
 	sp.keyBuf = key
 	if hit := sp.cache.get(key); hit != nil {
-		return hit.clone(), nil
+		return hit, nil
 	}
 	plan, err := sp.scheduleCold(devices, boundMS)
 	if err != nil {
 		return nil, err
 	}
 	plan.Order()
-	sp.cache.put(key, plan.clone())
+	plan.seal()
+	sp.cache.put(key, plan)
 	return plan, nil
 }
 

@@ -78,11 +78,11 @@ func TestNegativeAfterClampsToZeroDelay(t *testing.T) {
 func TestCancelPreventsFiring(t *testing.T) {
 	s := New()
 	fired := false
-	e := s.At(10, func() { fired = true })
-	if !s.Cancel(e) {
+	h := s.At(10, func() { fired = true })
+	if !s.Cancel(h) {
 		t.Fatal("Cancel returned false for pending event")
 	}
-	if s.Cancel(e) {
+	if s.Cancel(h) {
 		t.Fatal("second Cancel should return false")
 	}
 	s.Run()
@@ -91,15 +91,77 @@ func TestCancelPreventsFiring(t *testing.T) {
 	}
 }
 
-func TestCancelNilAndFired(t *testing.T) {
+func TestCancelZeroAndFired(t *testing.T) {
 	s := New()
-	if s.Cancel(nil) {
-		t.Fatal("Cancel(nil) must return false")
+	if s.Cancel(Handle{}) {
+		t.Fatal("Cancel of the zero Handle must return false")
 	}
-	e := s.At(1, func() {})
+	if (Handle{}).Valid() {
+		t.Fatal("zero Handle must be invalid")
+	}
+	h := s.At(1, func() {})
+	if !h.Valid() {
+		t.Fatal("issued Handle must be valid")
+	}
 	s.Run()
-	if s.Cancel(e) {
+	if s.Cancel(h) {
 		t.Fatal("Cancel after firing must return false")
+	}
+}
+
+func TestCancelStaleHandleAfterSlotReuse(t *testing.T) {
+	// A fired event's slot is recycled for the next scheduled event; the
+	// old Handle must not cancel the new occupant.
+	s := New()
+	h1 := s.At(1, func() {})
+	s.Run()
+	fired := false
+	h2 := s.At(2, func() { fired = true })
+	if s.Cancel(h1) {
+		t.Fatal("stale Handle cancelled a recycled slot")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("event in recycled slot did not fire")
+	}
+	if s.Cancel(h2) {
+		t.Fatal("Cancel after firing must return false")
+	}
+}
+
+func TestAtCallPassesFiringTimeAndArg(t *testing.T) {
+	s := New()
+	type box struct{ n int }
+	b := &box{}
+	var at Time
+	s.AtCall(7, func(now Time, arg any) {
+		at = now
+		arg.(*box).n++
+	}, b)
+	s.AfterCall(3, func(now Time, arg any) { arg.(*box).n += 10 }, b)
+	s.Run()
+	if at != 7 || b.n != 11 {
+		t.Fatalf("AtCall/AfterCall: at=%v n=%d, want 7/11", at, b.n)
+	}
+}
+
+func TestAtCallCancelAndNegativeAfterCall(t *testing.T) {
+	s := New()
+	n := 0
+	h := s.AtCall(5, func(Time, any) { n++ }, nil)
+	if !s.Cancel(h) {
+		t.Fatal("Cancel of pending AtCall event must succeed")
+	}
+	var at Time
+	s.At(42, func() {
+		s.AfterCall(-5, func(now Time, _ any) { at = now }, nil)
+	})
+	s.Run()
+	if n != 0 {
+		t.Fatal("cancelled AtCall event fired")
+	}
+	if at != 42 {
+		t.Fatalf("negative AfterCall delay fired at %v, want 42", at)
 	}
 }
 
