@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go test -bench 'Schedule$|Serve(SteadyState|HighLoad)$' -benchmem -count 6 \
+//	go test -bench 'Schedule$|Serve(SteadyState|HighLoad|BatchedHighLoad)$' -benchmem -count 6 \
 //	    ./internal/sched ./internal/runtime | tee bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update bench.txt
@@ -73,7 +73,7 @@ func main() {
 
 	if *update {
 		b := Baseline{
-			Note:       "refresh: go test -bench 'Schedule$|Serve(SteadyState|HighLoad)$' -benchmem -count 6 ./internal/sched ./internal/runtime | go run ./cmd/benchgate -update",
+			Note:       "refresh: go test -bench 'Schedule$|Serve(SteadyState|HighLoad|BatchedHighLoad)$' -benchmem -count 6 ./internal/sched ./internal/runtime | go run ./cmd/benchgate -update",
 			Benchmarks: current,
 		}
 		out, err := json.MarshalIndent(b, "", "  ")

@@ -4,6 +4,7 @@
 //
 //	polybench -list           # enumerate experiments
 //	polybench -run fig8       # run one experiment
+//	polybench -run fig8batch  # admission-batching on/off throughput sweep
 //	polybench -run all        # run the full suite (several minutes)
 package main
 

@@ -5,6 +5,7 @@
 //
 //	polysim -app ASR -arch heter -rps 50 -duration 20s
 //	polysim -app FQT -arch gpu -trace          # 24 h trace replay (compressed)
+//	polysim -app ASR -arch heter -rps 120 -batch-wait 4   # admission batching on
 package main
 
 import (
@@ -37,6 +38,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace JSON of the run to this file (implies -telemetry)")
 	faults := flag.String("faults", "", "fault scenario: off, slowdowns, boardfail, reconfig, mispredict, or chaos")
 	faultSeed := flag.Int64("fault-seed", 1, "fault scenario seed (same seed, same fault plan)")
+	batchWait := flag.Float64("batch-wait", 0, "admission-batch staging max wait in ms (0 = batching off)")
+	batchCap := flag.Int("batch", 0, "admission-batch group size cap (0 = planner's widest GPU batch; needs -batch-wait)")
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -88,7 +91,8 @@ func main() {
 		tr := poly.SynthesizeTrace(*seed)
 		const compressedMS = 600_000.0
 		compress := tr.DurationMS() / compressedMS
-		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000, Telemetry: telSink, Faults: faultsOpt})
+		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: 5_000, Telemetry: telSink, Faults: faultsOpt,
+			BatchWaitMS: *batchWait, BatchCap: *batchCap})
 		if err != nil {
 			fail(err)
 		}
@@ -104,7 +108,8 @@ func main() {
 		if warm > 5000 {
 			warm = 5000
 		}
-		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: warm, Telemetry: telSink, Faults: faultsOpt})
+		sv, _, err := bench.NewSession(runtime.Options{WarmupMS: warm, Telemetry: telSink, Faults: faultsOpt,
+			BatchWaitMS: *batchWait, BatchCap: *batchCap})
 		if err != nil {
 			fail(err)
 		}

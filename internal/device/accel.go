@@ -381,24 +381,46 @@ func (g *GPUDevice) launch() {
 	head := g.queue[0]
 	// Use the widest batch capacity any queued same-kernel variant
 	// offers: a batch-1 variant at the head must not cap a launch that
-	// batched variants behind it could share.
+	// batched variants behind it could share. The launch executes as that
+	// widest variant, so the task carrying it must be IN the launch — a
+	// capacity justified by a task the batch cannot reach (more narrow
+	// work queued ahead than the launch can carry) would overfill a
+	// narrow variant past its physical batch limit. wi remembers the
+	// first task providing the cap so the gather below reserves it a slot.
 	cap := 1
-	for _, t := range g.queue {
+	wi := -1
+	for i, t := range g.queue {
 		if t.Kernel == head.Kernel && t.Batch > cap {
 			cap = t.Batch
+			wi = i
 		}
 	}
 	// Gather up to cap tasks of the head's KERNEL from anywhere in the
 	// queue — a per-kernel batch queue, the way serving systems coalesce
 	// same-model launches. Tasks planned with different implementation
-	// variants of the same kernel still share one launch (the head's
+	// variants of the same kernel still share one launch (the widest
 	// variant): fragmenting batches by directive variant would collapse
 	// the GPU's throughput exactly when the scheduler is load-balancing
-	// variants under pressure.
+	// variants under pressure. One slot stays reserved for the
+	// cap-justifying task until it is taken.
 	batch := g.batchBuf[:0]
 	keep := g.keepBuf[:0]
-	for _, t := range g.queue {
-		if len(batch) < cap && t.Kernel == head.Kernel {
+	capTaken := wi < 0
+	for i, t := range g.queue {
+		if t.Kernel != head.Kernel {
+			keep = append(keep, t)
+			continue
+		}
+		slots := cap - len(batch)
+		if i == wi {
+			batch = append(batch, t)
+			capTaken = true
+			continue
+		}
+		if !capTaken {
+			slots--
+		}
+		if slots > 0 {
 			batch = append(batch, t)
 		} else {
 			keep = append(keep, t)

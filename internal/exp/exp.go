@@ -66,6 +66,7 @@ func init() {
 	register("table2", "per-kernel design spaces", designSpaces)
 	register("fig7", "tail latency, six apps", tailLatencyAll)
 	register("fig8", "maximum QoS throughput", maxThroughput)
+	register("fig8batch", "admission batching throughput sweep", batchingSweep)
 	register("fig9", "power scaling, three apps", func() (Result, error) {
 		return powerScaling("fig9", []string{"ASR", "FQT", "IR"})
 	})

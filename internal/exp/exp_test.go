@@ -11,8 +11,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1a", "fig1b", "fig1c", "fig1d", "fig1ef", "fig6", "table2",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "qos",
-		"accuracy", "fig13", "fig14",
+		"fig7", "fig8", "fig8batch", "fig9", "fig10", "fig11", "fig12",
+		"qos", "accuracy", "fig13", "fig14",
 	}
 	have := map[string]bool{}
 	for _, e := range List() {

@@ -130,6 +130,13 @@ func (sv *Server) setHealth(board string, to int, at sim.Time) {
 	if sv.tel != nil {
 		sv.tel.BoardHealthChanged(board, healthName(from), healthName(to), at)
 	}
+	// An admission group staged under the old health view must not submit
+	// as one unit onto a changed board set: dissolve it, admitting each
+	// member individually against the new epoch (no-op with no open group).
+	sv.disbandBatch()
+	// The surviving board set changes what a group plan can co-execute;
+	// reopen the staging gate and let the next group re-decide.
+	sv.reprobeBatching()
 }
 
 // markBoardFailed records a task loss on a board: the board goes down,

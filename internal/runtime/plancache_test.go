@@ -166,6 +166,35 @@ func BenchmarkServeSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkServeBatchedHighLoad is BenchmarkServeHighLoad with the
+// admission batcher on: the same 5× saturation load, now flowing through
+// the staging stage (group formation, flush timers, group planning). It
+// gates the batcher's own overhead — the staged path must not cost more
+// than the launch sharing it buys. amort reports GPU kernel executions
+// per physical launch.
+func BenchmarkServeBatchedHighLoad(b *testing.B) {
+	bench := benches(b, "ASR")[cluster.HeterPoly]
+	const (
+		rps        = 200.0
+		durationMS = 5000.0
+	)
+	var last Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv := polySession(b, bench, -1, Options{WarmupMS: 1000, BatchWaitMS: 4})
+		NewWorkload(1).InjectConstant(sv, rps, 0, sim.Time(durationMS))
+		last = sv.Collect()
+		if last.PlanErrors != 0 {
+			b.Fatalf("%d plan errors", last.PlanErrors)
+		}
+	}
+	b.StopTimer()
+	if last.GPULaunches > 0 {
+		b.ReportMetric(last.LaunchAmortization(), "amort")
+	}
+}
+
 // BenchmarkServeHighLoad is the saturation companion to SteadyState: 5×
 // the arrival rate, so queues stay deep, GPU batches fill, and the
 // admission-time device signature varies far more (lower cache hit rate,

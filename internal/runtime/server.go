@@ -62,6 +62,18 @@ type Options struct {
 	// disabled config leaves the serving path bit-identical to a build
 	// without the fault layer.
 	Faults *fault.Config
+	// BatchWaitMS, when positive, enables the admission-side
+	// cross-request batcher (batcher.go): arriving requests are staged
+	// into a group for up to this many milliseconds — budgeted down by
+	// each request's remaining latency slack — and the group is planned
+	// and submitted as one unit so same-kernel GPU work shares launches.
+	// Zero (the default) disables staging entirely; the serving path is
+	// then bit-identical to a build without the batcher.
+	BatchWaitMS float64
+	// BatchCap bounds the staged group size. Zero means the planner's
+	// widest GPU batch capacity — holding more requests than any launch
+	// can carry buys nothing. Ignored while BatchWaitMS is zero.
+	BatchCap int
 }
 
 // defaultTelemetry, when set, is attached to every server built without
@@ -148,6 +160,29 @@ type Server struct {
 	taskFailures    int
 	failedRequests  int
 	boardDownEvents int
+
+	// Admission-batcher state (batcher.go). batching latches
+	// Options.BatchWaitMS > 0 at construction; with it false every field
+	// below stays zero and the serving path never touches them.
+	batching      bool
+	batchCap      int
+	batchArrivals []sim.Time
+	batchDeadline sim.Time
+	batchGen      uint64
+	timerFree     []*batchTimer
+	// lastPlanMS is the most recent successful plan's makespan — the
+	// batcher's service-time predictor for the slack-budget rule.
+	// batchCoexec is the staging gate: true while the live plan mix
+	// routes at least one kernel through a batched GPU implementation
+	// (see planCoexecutable); arrivals bypass staging while it is false.
+	lastPlanMS  float64
+	batchCoexec bool
+
+	batchGroups     int
+	batchedRequests int
+	batchDisbands   int
+	batchHoldSumMS  float64
+	maxBatchSize    int
 }
 
 // NewServer wires an application and planner onto a node.
@@ -182,6 +217,19 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 		return nil, fmt.Errorf("runtime: node has no accelerators")
 	}
 	sv.buildProgIndex()
+	if opts.BatchWaitMS > 0 {
+		sv.batching = true
+		// Optimistic until the first plan proves otherwise: the first
+		// group's plan settles the gate.
+		sv.batchCoexec = true
+		sv.batchCap = opts.BatchCap
+		if sv.batchCap <= 0 {
+			sv.batchCap = defaultBatchCap
+			if sc, ok := planner.(*sched.Scheduler); ok {
+				sv.batchCap = sc.MaxGPUBatch()
+			}
+		}
+	}
 	if opts.Faults != nil && opts.Faults.Enabled() {
 		boards := make([]string, 0, len(sv.accels))
 		for _, g := range node.GPUs {
@@ -276,6 +324,9 @@ func (sv *Server) setGovernorMode(to, cause string) {
 		sv.tel.GovernorTransition(sv.sim.Now(), sv.govMode, to, cause)
 	}
 	sv.govMode = to
+	// A mode transition changes the plan mix the staging gate was decided
+	// under — let the next group re-decide it.
+	sv.reprobeBatching()
 }
 
 // Bound returns the effective latency bound.
@@ -337,7 +388,18 @@ func (sv *Server) Inject(at sim.Time) {
 	sv.sim.AtCall(at, fireAdmit, sv)
 }
 
-func fireAdmit(_ sim.Time, a any) { a.(*Server).admit() }
+// fireAdmit routes an arrival: straight to admission, or — with the
+// batcher enabled — into the staging stage. The disabled branch is the
+// exact pre-batcher path, which is what keeps BatchWaitMS == 0
+// bit-identical to a build without the batcher.
+func fireAdmit(_ sim.Time, a any) {
+	sv := a.(*Server)
+	if sv.batching && sv.batchCoexec {
+		sv.stage()
+		return
+	}
+	sv.admit()
+}
 
 // request tracks one in-flight request's DAG progress. Requests are
 // pooled: admit pulls one from the server's free list and maybeRelease
@@ -477,6 +539,13 @@ func (sv *Server) admit() {
 		}
 		return
 	}
+	if sv.batching {
+		// Arrivals reach admit() with batching on only while the staging
+		// gate is closed; keep the hold-budget predictor fresh for when
+		// a reprobe reopens it. (Single-request plans never move the
+		// gate itself — see notePlan.)
+		sv.notePlan(plan, 1)
+	}
 	var span *telemetry.Span
 	if sv.tel != nil {
 		hits, _ := sv.PlannerCacheStats()
@@ -488,23 +557,34 @@ func (sv *Server) admit() {
 		span.PlanMakespanMS = plan.MakespanMS
 		span.EnergySwaps = plan.EnergySwaps
 	}
+	// Batches form from the queue: arrivals during a running launch
+	// coalesce into the next one, which self-balances with load. A fixed
+	// accumulation window is kept tiny — just enough to merge
+	// near-simultaneous arrivals without spending the latency budget.
+	sv.startRequest(sv.sim.Now(), plan, span, admitWindowMS)
+}
+
+// startRequest builds the pooled request for an admitted plan and
+// submits its source kernels — the shared tail of every admission path.
+// arrivedAt is the request's true arrival instant (an admission-batched
+// request's latency includes its staging hold); windowMS is the
+// per-kernel in-queue accumulation window (for group members, only the
+// part of admitWindowMS the staging hold left unspent — the two
+// accumulation stages never wait the same budget twice).
+func (sv *Server) startRequest(arrivedAt sim.Time, plan *sched.Plan, span *telemetry.Span, windowMS float64) {
 	sv.inFlight++
 	pi := &sv.pi
 	nk := len(pi.names)
 	r := sv.acquireRequest()
 	r.sv = sv
-	r.arrivedAt = sv.sim.Now()
+	r.arrivedAt = arrivedAt
 	r.plan = plan
 	r.span = span
 	r.remaining = len(plan.Assignments)
 	r.refs = 0
 	r.retries = 0
 	r.done = false
-	// Batches form from the queue: arrivals during a running launch
-	// coalesce into the next one, which self-balances with load. A fixed
-	// accumulation window is kept tiny — just enough to merge
-	// near-simultaneous arrivals without spending the latency budget.
-	r.windowMS = 2
+	r.windowMS = windowMS
 	if cap(r.assign) < nk {
 		r.assign = make([]*sched.Assignment, nk)
 		r.ks = make([]*telemetry.KernelSpan, nk)
@@ -710,7 +790,9 @@ func (sv *Server) governorTick() {
 		queued += a.QueueLen()
 	}
 	switch {
-	case queued == 0 && sv.inFlight == 0 && sv.windowArrivals == 0:
+	case queued == 0 && sv.inFlight == 0 && sv.windowArrivals == 0 && len(sv.batchArrivals) == 0:
+		// (Staged admission-batch members count as load: parking the node
+		// with a group mid-hold would serve the flush at low-power clocks.)
 		// Node idle: drop GPUs to the deepest DVFS state and park FPGAs
 		// in the low-power shell (§VI-C power-savings discussion).
 		for _, g := range sv.node.GPUs {
@@ -910,6 +992,10 @@ type Result struct {
 	Power sim.TimeSeries
 	// GPUTasks/FPGATasks count kernel executions per accelerator family.
 	GPUTasks, FPGATasks int
+	// GPULaunches counts physical GPU launches over the run; the ratio
+	// GPUTasks / GPULaunches is the launch-amortization factor the
+	// admission batcher exists to raise (see LaunchAmortization).
+	GPULaunches int
 	// Reconfigs counts FPGA bitstream loads over the run.
 	Reconfigs int
 	// CacheHits/CacheMisses are the planner's plan-cache counters.
@@ -926,6 +1012,25 @@ type Result struct {
 	TaskFailures    int
 	FailedRequests  int
 	BoardDownEvents int
+	// Admission-batcher accounting (all zero when batching is off).
+	// BatchGroups counts flushed groups; BatchedRequests their members;
+	// BatchDisbands groups dissolved by a board-health transition;
+	// MeanHoldMS the mean staging hold per batched request; MaxBatchSize
+	// the largest group observed.
+	BatchGroups     int
+	BatchedRequests int
+	BatchDisbands   int
+	MeanHoldMS      float64
+	MaxBatchSize    int
+}
+
+// LaunchAmortization is GPU kernel executions per physical launch
+// (1 = no sharing; 0 when the run launched nothing on a GPU).
+func (r Result) LaunchAmortization() float64 {
+	if r.GPULaunches == 0 {
+		return 0
+	}
+	return float64(r.GPUTasks) / float64(r.GPULaunches)
 }
 
 // String renders the run as the multi-line report cmd/polysim prints:
@@ -956,6 +1061,10 @@ func (r Result) String() string {
 	if r.Shed+r.Retries+r.TaskFailures+r.FailedRequests+r.BoardDownEvents > 0 {
 		fmt.Fprintf(&b, "\nfaults    %d shed, %d retries, %d task failures, %d failed requests, %d board-down events",
 			r.Shed, r.Retries, r.TaskFailures, r.FailedRequests, r.BoardDownEvents)
+	}
+	if r.BatchGroups > 0 || r.BatchDisbands > 0 {
+		fmt.Fprintf(&b, "\nbatching  %d groups (%d requests, max size %d, mean hold %.2f ms), %d disbands, %.2f tasks/launch",
+			r.BatchGroups, r.BatchedRequests, r.MaxBatchSize, r.MeanHoldMS, r.BatchDisbands, r.LaunchAmortization())
 	}
 	return b.String()
 }
@@ -1008,6 +1117,17 @@ func (sv *Server) Collect() Result {
 		Power:      sv.powerTS,
 	}
 	res.CacheHits, res.CacheMisses = sv.PlannerCacheStats()
+	for _, g := range sv.node.GPUs {
+		l, _, _ := g.Launches()
+		res.GPULaunches += l
+	}
+	res.BatchGroups = sv.batchGroups
+	res.BatchedRequests = sv.batchedRequests
+	res.BatchDisbands = sv.batchDisbands
+	res.MaxBatchSize = sv.maxBatchSize
+	if sv.batchedRequests > 0 {
+		res.MeanHoldMS = sv.batchHoldSumMS / float64(sv.batchedRequests)
+	}
 	res.Shed = sv.shed
 	res.Retries = sv.retries
 	res.TaskFailures = sv.taskFailures

@@ -153,6 +153,13 @@ func (b Bench) ServeConstantLoadWith(opts Options, rps float64, durationMS float
 // Fig. 1(a) and Fig. 8. The search brackets [1, hi] and refines to
 // within ~2 %.
 func (b Bench) MaxThroughputRPS(hi float64, durationMS float64, seed int64) (float64, error) {
+	return b.MaxThroughputRPSWith(Options{}, hi, durationMS, seed)
+}
+
+// MaxThroughputRPSWith is MaxThroughputRPS with explicit session options
+// — how the batching experiments search the QoS-compliant maximum with
+// the admission batcher enabled.
+func (b Bench) MaxThroughputRPSWith(opts Options, hi float64, durationMS float64, seed int64) (float64, error) {
 	if hi <= 1 {
 		hi = 256
 	}
@@ -164,7 +171,7 @@ func (b Bench) MaxThroughputRPS(hi float64, durationMS float64, seed int64) (flo
 		if need := 300.0 / rps * 1000; need > dur {
 			dur = need
 		}
-		res, err := b.ServeConstantLoad(rps, dur, s)
+		res, err := b.ServeConstantLoadWith(opts, rps, dur, s)
 		if err != nil {
 			return false, err
 		}

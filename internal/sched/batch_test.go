@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"testing"
+
+	"poly/internal/device"
+	"poly/internal/model"
+)
+
+func TestSetBatchSizeClamps(t *testing.T) {
+	s, _, _ := buildSched(t)
+	if s.BatchSize() != 1 {
+		t.Fatalf("default batch size = %d, want 1", s.BatchSize())
+	}
+	s.SetBatchSize(0)
+	if s.BatchSize() != 1 {
+		t.Fatalf("batch size must clamp to 1, got %d", s.BatchSize())
+	}
+	s.SetBatchSize(4)
+	if s.BatchSize() != 4 {
+		t.Fatalf("batch size = %d, want 4", s.BatchSize())
+	}
+	s.SetBatchSize(1)
+}
+
+func TestMaxGPUBatchFromFrontier(t *testing.T) {
+	s, _, _ := buildSched(t)
+	got := s.MaxGPUBatch()
+	if got < 1 {
+		t.Fatalf("MaxGPUBatch = %d, want >= 1", got)
+	}
+	// It must equal the widest batch across every kernel's GPU frontier.
+	want := 1
+	for _, k := range s.prog.Kernels() {
+		for _, im := range s.candidatesIdx(s.kidx[k.Name], device.GPU) {
+			if im.Config.Batch > want {
+				want = im.Config.Batch
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("MaxGPUBatch = %d, want frontier-wide %d", got, want)
+	}
+}
+
+// TestBatchSizeFloorsExpectedFill: an admission group of n requests
+// guarantees n same-kernel tasks per launch regardless of the load
+// estimate, so the fill floor is min(n, cap) even at zero load.
+func TestBatchSizeFloorsExpectedFill(t *testing.T) {
+	s, _, _ := buildSched(t)
+	var batched *model.Impl
+	for _, im := range s.candidatesIdx(s.kidx["k1"], device.GPU) {
+		if batched == nil || im.Config.Batch > batched.Config.Batch {
+			batched = im
+		}
+	}
+	if batched == nil || batched.Config.Batch <= 1 {
+		t.Skip("no batched frontier point")
+	}
+	cap := batched.Config.Batch
+	s.SetLoadHint(0)
+	if got := s.expectedFill(batched); got != 1 {
+		t.Fatalf("zero-load single fill = %v, want 1", got)
+	}
+	s.SetBatchSize(cap)
+	if got := s.expectedFill(batched); got != float64(cap) {
+		t.Fatalf("group-of-%d fill = %v, want %d", cap, got, cap)
+	}
+	s.SetBatchSize(2 * batched.Config.Batch)
+	if got := s.expectedFill(batched); got != float64(batched.Config.Batch) {
+		t.Fatalf("oversize group fill = %v, want cap %d", got, batched.Config.Batch)
+	}
+	s.SetBatchSize(1)
+}
+
+// TestBatchSizeKeysPlanCache: the admission group size participates in the
+// plan-cache key, so group plans and single-request plans never alias.
+func TestBatchSizeKeysPlanCache(t *testing.T) {
+	s, _, _ := buildSched(t)
+	devs := steadyDevices(s)
+	if _, hit := scheduleOnce(t, s, devs, 0); hit {
+		t.Fatal("first call against an empty cache must miss")
+	}
+	s.SetBatchSize(4)
+	if _, hit := scheduleOnce(t, s, devs, 0); hit {
+		t.Fatal("a different batch size must be a different key")
+	}
+	s.SetBatchSize(1)
+	if _, hit := scheduleOnce(t, s, devs, 0); !hit {
+		t.Fatal("restoring batch size 1 must hit the primed entry")
+	}
+}

@@ -92,6 +92,30 @@ func (d *DeviceState) execMS(im *model.Impl) float64 {
 	return t
 }
 
+// groupExecMS prices an admission group of n requests all executing this
+// kernel under im on d — the completion estimate of the LAST member.
+// Batched GPU variants absorb the group in ceil(n/cap) shared launches,
+// so co-executing there is near-free; FPGA members pipeline behind each
+// other at one initiation interval each. n == 1 is exactly execMS, so
+// single-request planning is untouched.
+func (d *DeviceState) groupExecMS(im *model.Impl, n int) float64 {
+	t := d.execMS(im)
+	if n <= 1 {
+		return t
+	}
+	if d.Class == device.GPU {
+		cap := int(batchCap(im))
+		launches := (n + cap - 1) / cap
+		return t + float64(launches-1)*im.LatencyMS/d.freq()
+	}
+	lat := im.LatencyMS / d.freq()
+	ii := im.IntervalMS / d.freq()
+	if ii <= 0 || ii > lat {
+		ii = lat
+	}
+	return t + float64(n-1)*ii
+}
+
 // commitMS returns the marginal device occupancy of one request under im:
 // latency/fill on a GPU (the launch is shared by the requests expected to
 // batch with it), reconfiguration plus one initiation interval on a
@@ -212,6 +236,17 @@ type Scheduler struct {
 	// request to finish exactly at LB leaves no headroom for queueing
 	// jitter or model error, so energy swaps target slack × LB instead.
 	slack float64
+	// batchN is the admission batcher's group size hint: when the runtime
+	// plans a staged group of n compatible requests as one unit, batched
+	// GPU variants are guaranteed at least n requests per launch, so the
+	// fill floor rises from the stochastic λ·T estimate to the known group
+	// size. 1 (the default) is single-request planning and leaves every
+	// prediction exactly as before.
+	batchN int
+	// maxGPUBatch caches the widest GPU batch capacity across the Step-1
+	// candidate lists, computed once at construction — the natural upper
+	// bound for admission-side group sizes.
+	maxGPUBatch int
 	// order caches the W_L-descending kernel order.
 	order []string
 	// wl caches the latency priorities.
@@ -313,6 +348,7 @@ func New(prog *opencl.Program, spaces *dse.KernelSpaces) (*Scheduler, error) {
 		}
 	}
 	s := &Scheduler{prog: prog, spaces: spaces, pcie: device.DefaultPCIe, slack: defaultSlackFactor,
+		batchN:   1,
 		implByID: make(map[string]*model.Impl),
 		gpuCands: make(map[string][]*model.Impl),
 		cache:    newPlanCache(defaultPlanCacheCapacity)}
@@ -330,6 +366,11 @@ func New(prog *opencl.Program, spaces *dse.KernelSpaces) (*Scheduler, error) {
 				cands = []*model.Impl{sp.Pareto[0], thr}
 			}
 			s.gpuCands[k.Name] = cands
+			for _, im := range cands {
+				if im.Config.Batch > s.maxGPUBatch {
+					s.maxGPUBatch = im.Config.Batch
+				}
+			}
 		}
 	}
 	s.computePriorities()
@@ -447,6 +488,34 @@ func (s *Scheduler) SetLoadHint(rps float64) {
 	s.loadRPS = math.Round(rps)
 }
 
+// SetBatchSize feeds the admission batcher's group size into fill
+// predictions: a staged group of n compatible requests submits together,
+// so batched GPU variants are known — not just expected — to share each
+// launch among at least n requests (up to the implementation's cap).
+// Values below 1 clamp to 1, which restores single-request planning.
+// Like the load hint, the value is folded into the plan-cache key, so
+// group plans and single-request plans never alias.
+func (s *Scheduler) SetBatchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.batchN = n
+}
+
+// BatchSize reports the current group-size hint.
+func (s *Scheduler) BatchSize() int { return s.batchN }
+
+// MaxGPUBatch returns the widest GPU batch capacity across the program's
+// Step-1 candidate implementations — the point past which a larger
+// admission group cannot amortize further launches. At least 1, even for
+// FPGA-only programs.
+func (s *Scheduler) MaxGPUBatch() int {
+	if s.maxGPUBatch < 1 {
+		return 1
+	}
+	return s.maxGPUBatch
+}
+
 // batchCap returns the implementation's full batch capacity as a float.
 // Queue bookkeeping uses the optimistic full-batch marginal cost: under
 // the loads where queues matter, batches do fill.
@@ -459,12 +528,18 @@ func batchCap(im *model.Impl) float64 {
 
 // expectedFill predicts how many requests share one launch of im: the
 // arrivals during one batch latency, at least 1, at most the batch cap.
+// When planning for an admission group (batchN > 1) the group size is a
+// guaranteed floor — those requests submit at the same instant — so the
+// fill is at least min(batchN, cap) regardless of the load estimate.
 func (s *Scheduler) expectedFill(im *model.Impl) float64 {
 	b := im.Config.Batch
 	if b <= 1 {
 		return 1
 	}
 	fill := s.loadRPS * im.LatencyMS / 1000
+	if g := float64(s.batchN); g > fill {
+		fill = g
+	}
 	if fill < 1 {
 		return 1
 	}
@@ -648,6 +723,7 @@ func (s *Scheduler) planKey(devices []DeviceState, boundMS float64) []byte {
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(boundMS))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.loadRPS))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.slack))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.batchN))
 	if s.tpMode {
 		b = append(b, 1)
 	} else {
@@ -838,7 +914,7 @@ func (s *Scheduler) findPlacement(ki int32, devices []DeviceState, slab []Assign
 			if avail := d.availableAt(ImplID(im)); avail > est {
 				est = avail
 			}
-			end := est + d.execMS(im)
+			end := est + d.groupExecMS(im, s.batchN)
 			// Score = completion + marginal occupancy: between two
 			// placements finishing alike, prefer the one that leaves the
 			// device freer (batched/pipelined variants). Eviction adds
@@ -1093,7 +1169,7 @@ func (s *Scheduler) resimulate(src, dst *planState, base []DeviceState, pinKi in
 			est = avail
 		}
 		dst.slab[ki] = Assignment{Kernel: s.knames[ki], Impl: im, Device: devName,
-			StartMS: est, EndMS: est + dev.execMS(im),
+			StartMS: est, EndMS: est + dev.groupExecMS(im, s.batchN),
 			ExecMS:   im.LatencyMS / dev.freq(),
 			CommitMS: dev.commitMS(im, batchCap(im))}
 		s.commit(&dst.slab[ki], devs)

@@ -48,6 +48,14 @@ type Span struct {
 	// device task failures; a dropped request with Retries > 0 exhausted
 	// its retry budget.
 	Retries int
+	// Batched marks a request that was planned and submitted as part of
+	// an admission-batch group; BatchSize is that group's size and HoldMS
+	// how long this request was staged before the group flushed. A
+	// disbanded group member is admitted individually (Batched false)
+	// but still carries its HoldMS.
+	Batched   bool
+	BatchSize int
+	HoldMS    float64
 	// Kernels are the per-kernel placements, in submission order. Entries
 	// are pointers so a record handed out by AddKernel stays valid while
 	// later submissions grow the slice.

@@ -45,6 +45,11 @@ type Sink interface {
 	// the plan's Step-2 energy swap count.
 	PlanUpdate(cacheHit bool, energySwaps int)
 
+	// BatchFlush records one admission-batch group leaving the staging
+	// stage: its size, the mean time its members were held, and why it
+	// flushed ("full", "maxwait") or dissolved ("disband").
+	BatchFlush(at sim.Time, size int, holdMS float64, reason string)
+
 	// RequestShed counts a request rejected by admission control because
 	// the degraded node could not meet the latency bound.
 	RequestShed(at sim.Time)
@@ -268,6 +273,19 @@ func (r *Recorder) PlanUpdate(cacheHit bool, energySwaps int) {
 	if energySwaps > 0 {
 		r.cSwaps.Add(float64(energySwaps))
 	}
+}
+
+// BatchFlush implements Sink.
+func (r *Recorder) BatchFlush(at sim.Time, size int, holdMS float64, reason string) {
+	r.reg.Counter("poly_batch_groups_total", "Admission-batch groups by flush reason.",
+		"reason", reason).Inc()
+	r.reg.Histogram("poly_batch_size", "Admission-batch group sizes.").Observe(float64(size))
+	r.reg.Histogram("poly_batch_hold_ms", "Mean staging hold per admission-batch group.").Observe(holdMS)
+	r.mu.Lock()
+	r.trace.add(TraceEvent{Name: "batch:" + reason, Cat: "batch", Phase: "i", Scope: "t",
+		TS: us(at), PID: r.session, TID: tidRequests,
+		Args: map[string]any{"size": size, "hold_ms": holdMS}})
+	r.mu.Unlock()
 }
 
 // RequestShed implements Sink.
