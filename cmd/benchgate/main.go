@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	go test -bench 'Schedule$|Serve(SteadyState|HighLoad|BatchedHighLoad)$' -benchmem -count 6 \
+//	go test -bench 'Schedule$|Serve(SteadyState|HighLoad|BatchedHighLoad|TelemetryOn)$' -benchmem -count 6 \
 //	    ./internal/sched ./internal/runtime | tee bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update bench.txt
+//
+// Beyond the absolute baseline, -ratio asserts a relative bound between
+// two benchmarks measured in the *same* input — immune to runner speed:
+//
+//	go run ./cmd/benchgate -ratio 'BenchmarkServeTelemetryOn/BenchmarkServeSteadyState<=1.10' bench.txt
 //
 // Parsing rules: the trailing -N GOMAXPROCS suffix is stripped from
 // benchmark names so baselines transfer across machine shapes, and with
@@ -52,6 +57,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
 	threshold := flag.Float64("threshold", 0.20, "allowed relative regression (0.20 = +20%)")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	ratios := flag.String("ratio", "", "comma-separated ns/op ratio assertions between benchmarks in this input, e.g. 'BenchmarkA/BenchmarkB<=1.10'")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -70,10 +76,15 @@ func main() {
 	if len(current) == 0 {
 		fail(fmt.Errorf("no benchmark lines found in input"))
 	}
+	if *ratios != "" {
+		if err := checkRatios(*ratios, current); err != nil {
+			fail(err)
+		}
+	}
 
 	if *update {
 		b := Baseline{
-			Note:       "refresh: go test -bench 'Schedule$|Serve(SteadyState|HighLoad|BatchedHighLoad)$' -benchmem -count 6 ./internal/sched ./internal/runtime | go run ./cmd/benchgate -update",
+			Note:       "refresh: go test -bench 'Schedule$|Serve(SteadyState|HighLoad|BatchedHighLoad|TelemetryOn)$' -benchmem -count 6 ./internal/sched ./internal/runtime | go run ./cmd/benchgate -update",
 			Benchmarks: current,
 		}
 		out, err := json.MarshalIndent(b, "", "  ")
@@ -138,6 +149,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: all benchmarks within threshold")
+}
+
+// checkRatios evaluates 'Num/Den<=limit' assertions against the best
+// ns/op of two benchmarks from the same run. Both sides share the
+// machine and the noise of one invocation, so the bound holds (or
+// fails) for the workload's real relative cost, not for runner speed.
+func checkRatios(spec string, current map[string]Entry) error {
+	for _, assert := range strings.Split(spec, ",") {
+		assert = strings.TrimSpace(assert)
+		if assert == "" {
+			continue
+		}
+		names, limitStr, ok := strings.Cut(assert, "<=")
+		if !ok {
+			return fmt.Errorf("ratio %q: want 'Num/Den<=limit'", assert)
+		}
+		num, den, ok := strings.Cut(strings.TrimSpace(names), "/")
+		if !ok {
+			return fmt.Errorf("ratio %q: want 'Num/Den<=limit'", assert)
+		}
+		limit, err := strconv.ParseFloat(strings.TrimSpace(limitStr), 64)
+		if err != nil || limit <= 0 {
+			return fmt.Errorf("ratio %q: bad limit %q", assert, limitStr)
+		}
+		ne, ok := current[num]
+		if !ok {
+			return fmt.Errorf("ratio %q: %s not found in input", assert, num)
+		}
+		de, ok := current[den]
+		if !ok {
+			return fmt.Errorf("ratio %q: %s not found in input", assert, den)
+		}
+		if de.NsPerOp <= 0 {
+			return fmt.Errorf("ratio %q: %s has non-positive ns/op", assert, den)
+		}
+		got := ne.NsPerOp / de.NsPerOp
+		if got > limit {
+			return fmt.Errorf("ratio %s/%s = %.3f exceeds limit %.3f (%.0f vs %.0f ns/op)",
+				num, den, got, limit, ne.NsPerOp, de.NsPerOp)
+		}
+		fmt.Printf("ok    ratio %s/%s = %.3f <= %.3f\n", num, den, got, limit)
+	}
+	return nil
 }
 
 func delta(ref, cur float64) float64 {

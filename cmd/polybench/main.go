@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,17 +32,27 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace JSON of every session the experiment runs (forces -workers 1)")
+	metricsOut := flag.String("metrics-out", "", "write the aggregated Prometheus metrics of every session the experiment runs (pool-safe: works at any -workers)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 	var rec *telemetry.Recorder
-	if *traceOut != "" {
+	switch {
+	case *traceOut != "":
 		// Experiments build their sessions internally, so tracing goes
 		// through the process-wide default sink — and must run serial, or
 		// parallel sweeps would interleave their timelines in one recorder.
+		// (Metric recording itself is pool-safe; it is the per-session
+		// Perfetto tracks that cannot share a buffer across workers.)
 		fmt.Fprintln(os.Stderr,
 			"polybench: -trace-out forces a serial worker pool (POLY_WORKERS ignored); drop -trace-out for parallel sweeps")
 		parallel.SetWorkers(1)
 		rec = telemetry.New()
+		runtime.SetDefaultTelemetry(rec)
+	case *metricsOut != "":
+		// Metrics-only recording is safe under the parallel pool: counters
+		// and histograms accumulate correctly from any worker, and no
+		// per-session trace state exists to interleave.
+		rec = telemetry.NewWithOptions(telemetry.Options{MetricsOnly: true})
 		runtime.SetDefaultTelemetry(rec)
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -101,21 +112,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if rec != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, rec.WriteTrace); err != nil {
 			fmt.Fprintln(os.Stderr, "polybench:", err)
-			os.Exit(1)
-		}
-		werr := rec.WriteTrace(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintln(os.Stderr, "polybench:", werr)
 			os.Exit(1)
 		}
 		fmt.Printf("trace: %d events -> %s (load at https://ui.perfetto.dev)\n",
 			rec.TraceEventCount(), *traceOut)
 	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, rec.WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, "polybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %d spans recorded -> %s (Prometheus text)\n",
+			rec.SpanTotal(), *metricsOut)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

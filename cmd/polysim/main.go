@@ -36,6 +36,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (and /metrics with -telemetry) on this address (e.g. localhost:6060)")
 	useTelemetry := flag.Bool("telemetry", false, "record runtime telemetry (metrics + spans)")
 	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace JSON of the run to this file (implies -telemetry)")
+	flightOut := flag.String("flight-out", "", "write the QoS flight recorder to this file as Perfetto/Chrome trace JSON (implies -telemetry): the frozen pre-incident window if a violation or board-down trigger fired, else the live tail")
 	faults := flag.String("faults", "", "fault scenario: off, slowdowns, boardfail, reconfig, mispredict, or chaos")
 	faultSeed := flag.Int64("fault-seed", 1, "fault scenario seed (same seed, same fault plan)")
 	batchWait := flag.Float64("batch-wait", 0, "admission-batch staging max wait in ms (0 = batching off)")
@@ -47,7 +48,7 @@ func main() {
 	}
 	defer stopProf()
 	var rec *telemetry.Recorder
-	if *useTelemetry || *traceOut != "" {
+	if *useTelemetry || *traceOut != "" || *flightOut != "" {
 		rec = telemetry.New()
 		prof.Handle("/metrics", rec.MetricsHandler())
 		if *pprofAddr != "" {
@@ -133,6 +134,27 @@ func main() {
 			fmt.Printf("trace: %d events dropped over the buffer cap\n", d)
 		}
 	}
+	if *flightOut != "" {
+		if err := writeFlightFile(rec, *flightOut); err != nil {
+			fail(err)
+		}
+		if cause, atMS, ok := rec.FlightTriggered(); ok {
+			fmt.Printf("flight: triggered by %s at %.1f ms -> %s (load at https://ui.perfetto.dev)\n",
+				cause, atMS, *flightOut)
+		} else {
+			fmt.Printf("flight: no trigger fired; wrote live tail -> %s (load at https://ui.perfetto.dev)\n",
+				*flightOut)
+		}
+	}
+}
+
+func writeFlightFile(rec *telemetry.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteFlight(f)
 }
 
 func writeTraceFile(rec *telemetry.Recorder, path string) error {

@@ -132,6 +132,44 @@ func Build(s *sim.Simulator, plan Plan) *Node {
 	return n
 }
 
+// ResourceCapacity is an allocatable resource envelope — of one board
+// or of the whole node — in the units the telemetry resource gauges
+// (poly_node_allocatable / poly_board_allocatable) export.
+type ResourceCapacity struct {
+	// ComputeSlots is how many boards can hold work concurrently.
+	ComputeSlots float64
+	// PowerW is the power budget: a board's peak draw, or the node's
+	// provisioned cap.
+	PowerW float64
+	// FPGARegions is how many reconfigurable regions exist.
+	FPGARegions float64
+}
+
+// Capacity returns the node's allocatable envelope: one compute slot
+// per board, the provisioned power cap (falling back to aggregate peak
+// draw if the plan carries no cap), and one region per FPGA.
+func (n *Node) Capacity() ResourceCapacity {
+	power := n.Plan.PowerCapW
+	if power <= 0 {
+		power = n.PeakPowerW()
+	}
+	return ResourceCapacity{
+		ComputeSlots: float64(len(n.GPUs) + len(n.FPGAs)),
+		PowerW:       power,
+		FPGARegions:  float64(len(n.FPGAs)),
+	}
+}
+
+// GPUBoardCapacity returns the per-board envelope of this node's GPUs.
+func (n *Node) GPUBoardCapacity() ResourceCapacity {
+	return ResourceCapacity{ComputeSlots: 1, PowerW: n.Plan.Setting.GPU.PeakPowerW}
+}
+
+// FPGABoardCapacity returns the per-board envelope of this node's FPGAs.
+func (n *Node) FPGABoardCapacity() ResourceCapacity {
+	return ResourceCapacity{ComputeSlots: 1, PowerW: n.Plan.Setting.FPGA.PeakPowerW, FPGARegions: 1}
+}
+
 // Accelerators returns every board as the common interface, GPUs first.
 func (n *Node) Accelerators() []device.Accelerator {
 	out := make([]device.Accelerator, 0, len(n.GPUs)+len(n.FPGAs))

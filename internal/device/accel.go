@@ -141,6 +141,23 @@ type Observer interface {
 	DVFSChanged(device string, level int, at sim.Time)
 }
 
+// ResourceObserver receives board occupancy events for resource
+// accounting (telemetry.Sink satisfies it structurally). It is separate
+// from Observer because it fires on state *transitions* rather than on
+// work items: busy flips, power-level changes, bitstream residency. A
+// nil observer costs a device only nil-checks and never perturbs the
+// simulated timeline.
+type ResourceObserver interface {
+	// BusyChanged reports the board's in-flight task count. Boards elide
+	// interior changes: only idle↔busy transitions are guaranteed.
+	BusyChanged(device string, busy int, at sim.Time)
+	// PowerChanged reports a change of instantaneous draw.
+	PowerChanged(device string, watts float64, at sim.Time)
+	// BitstreamResident reports the bitstream occupying an FPGA's
+	// reconfigurable region ("" after an aborted load leaves it blank).
+	BitstreamResident(device, implID string, at sim.Time)
+}
+
 // Accelerator is a simulated board: it accepts tasks, reports occupancy
 // for the scheduler's EST table (Eq. 4), and accounts energy.
 type Accelerator interface {
@@ -172,14 +189,26 @@ type accelBase struct {
 	power  float64 // instantaneous watts
 	energy float64 // accumulated mJ
 	lastAt sim.Time
-	obs    Observer  // nil when telemetry is disabled
-	fault  FaultHook // nil when fault injection is disabled
+	obs    Observer         // nil when telemetry is disabled
+	res    ResourceObserver // nil when resource accounting is disabled
+	fault  FaultHook        // nil when fault injection is disabled
 }
 
 func (b *accelBase) Name() string { return b.name }
 
 // SetObserver attaches (or detaches, with nil) a telemetry observer.
 func (b *accelBase) SetObserver(o Observer) { b.obs = o }
+
+// SetResourceObserver attaches (or detaches, with nil) a resource
+// accounting observer.
+func (b *accelBase) SetResourceObserver(o ResourceObserver) { b.res = o }
+
+// notifyBusy reports an idle↔busy transition.
+func (b *accelBase) notifyBusy(n int) {
+	if b.res != nil {
+		b.res.BusyChanged(b.name, n, b.sim.Now())
+	}
+}
 
 // SetFaultHook attaches (or detaches, with nil) a fault injector.
 func (b *accelBase) SetFaultHook(h FaultHook) { b.fault = h }
@@ -213,6 +242,9 @@ func (b *accelBase) setPower(w float64) {
 	now := b.sim.Now()
 	b.energy += b.power * float64(now-b.lastAt)
 	b.lastAt = now
+	if b.res != nil && w != b.power {
+		b.res.PowerChanged(b.name, w, now)
+	}
 	b.power = w
 }
 
@@ -347,6 +379,7 @@ func fireGPULaunch(_ sim.Time, a any) { a.(*GPUDevice).launch() }
 func fireGPUDone(now sim.Time, a any) {
 	g := a.(*GPUDevice)
 	g.running = false
+	g.notifyBusy(0)
 	for _, t := range g.batchBuf {
 		t.done(now)
 	}
@@ -469,6 +502,7 @@ func (g *GPUDevice) launch() {
 		t.started(start)
 	}
 	g.running = true
+	g.notifyBusy(1)
 	active := g.spec.IdlePowerW + (powerRef.PowerW-g.spec.IdlePowerW)*lvl.PowerScale
 	g.setPower(active)
 	g.freeAt = g.sim.Now() + dur
@@ -596,12 +630,16 @@ func (f *FPGADevice) Preload(implID string) {
 	f.lowPower = false
 	f.draining = true // block submissions from racing the flash
 	f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
+	prev := f.loaded
 	if f.fault != nil && f.fault.ReconfigAborts(f.name, implID, f.sim.Now()) {
 		// Aborted background flash: the stall is paid, the fabric comes
 		// up blank, and the governor's next provisioning pass retries.
 		f.loaded = ""
 	} else {
 		f.loaded = implID
+	}
+	if f.res != nil && f.loaded != prev {
+		f.res.BitstreamResident(f.name, f.loaded, f.sim.Now())
 	}
 	f.nextInit = f.sim.Now() + sim.Time(f.spec.ReconfigMS)
 	f.sim.At(f.nextInit, func() {
@@ -673,12 +711,16 @@ func (f *FPGADevice) drain() {
 		}
 		f.lowPower = false
 		f.setPower(f.spec.IdlePowerW + 0.3*(f.spec.PeakPowerW-f.spec.IdlePowerW))
+		prev := f.loaded
 		if aborted {
 			f.abortStreak++
 			f.loaded = ""
 		} else {
 			f.abortStreak = 0
 			f.loaded = t.ImplID
+		}
+		if f.res != nil && f.loaded != prev {
+			f.res.BitstreamResident(f.name, f.loaded, f.sim.Now())
 		}
 		f.nextInit = f.sim.Now() + sim.Time(f.spec.ReconfigMS)
 		f.sim.AtCall(f.nextInit, fireFPGADrain, f)
@@ -700,6 +742,9 @@ func (f *FPGADevice) drain() {
 		ii = lat
 	}
 	f.inflight++
+	if f.inflight == 1 {
+		f.notifyBusy(1)
+	}
 	f.setPower(t.PowerW)
 	f.nextInit = now + ii
 	if f.obs != nil {
@@ -722,6 +767,9 @@ func fireFPGATaskDone(now sim.Time, a any) {
 	f := t.fpga
 	t.fpga = nil
 	f.inflight--
+	if f.inflight == 0 {
+		f.notifyBusy(0)
+	}
 	t.done(now)
 	if f.inflight == 0 && len(f.queue) == 0 {
 		f.setPower(f.spec.IdlePowerW)

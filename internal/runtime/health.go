@@ -239,4 +239,13 @@ func (r *request) kernelFailed(ki int32, board string, at sim.Time) {
 		sv.intended[a.Device] = a.Impl.ID
 	}
 	r.submit(ki)
+	// submit just swapped in a fresh kernel record for the retry attempt;
+	// tag it so stage attribution can carve the failure→restart window
+	// out as retry time.
+	if r.span != nil {
+		if ks := r.ks[ki]; ks != nil {
+			ks.Retried = true
+			ks.RetryFromMS = float64(at)
+		}
+	}
 }

@@ -252,13 +252,34 @@ func NewServer(node *cluster.Node, prog *opencl.Program, planner Planner, opts O
 	}
 	if sv.tel != nil {
 		sv.tel.BeginSession(fmt.Sprintf("%s (bound %.0f ms)", prog.Name, opts.BoundMS))
+		// Resource accounting: declare the node and per-board allocatable
+		// envelopes, then attach the boards' transition observers and seed
+		// the gauges with the current (idle) state.
+		capN := node.Capacity()
+		sv.tel.RegisterNodeResource(telemetry.ResComputeSlots, capN.ComputeSlots)
+		sv.tel.RegisterNodeResource(telemetry.ResPowerW, capN.PowerW)
+		sv.tel.RegisterNodeResource(telemetry.ResFPGARegions, capN.FPGARegions)
+		capG := node.GPUBoardCapacity()
 		for _, g := range node.GPUs {
 			sv.tel.RegisterBoard(g.Name(), "GPU")
+			sv.tel.RegisterBoardResource(g.Name(), telemetry.ResComputeSlots, capG.ComputeSlots)
+			sv.tel.RegisterBoardResource(g.Name(), telemetry.ResPowerW, capG.PowerW)
 			g.SetObserver(sv.tel)
+			g.SetResourceObserver(sv.tel)
+			sv.tel.PowerChanged(g.Name(), g.PowerW(), sv.sim.Now())
 		}
+		capF := node.FPGABoardCapacity()
 		for _, f := range node.FPGAs {
 			sv.tel.RegisterBoard(f.Name(), "FPGA")
+			sv.tel.RegisterBoardResource(f.Name(), telemetry.ResComputeSlots, capF.ComputeSlots)
+			sv.tel.RegisterBoardResource(f.Name(), telemetry.ResPowerW, capF.PowerW)
+			sv.tel.RegisterBoardResource(f.Name(), telemetry.ResFPGARegions, capF.FPGARegions)
 			f.SetObserver(sv.tel)
+			f.SetResourceObserver(sv.tel)
+			sv.tel.PowerChanged(f.Name(), f.PowerW(), sv.sim.Now())
+			if l := f.Loaded(); l != "" {
+				sv.tel.BitstreamResident(f.Name(), l, sv.sim.Now())
+			}
 		}
 		sv.tel.PowerSample(sv.sim.Now(), node.PowerW())
 	}
@@ -705,6 +726,9 @@ func (r *request) kernelDone(ki int32, at sim.Time) {
 		delay := sim.Duration(0)
 		if ca := r.assign[e.to]; pa != nil && ca != nil && pa.Device != ca.Device {
 			delay = sim.Duration(e.transferMS)
+			if r.span != nil && delay > 0 {
+				r.span.AddTransfer(float64(at), float64(at)+e.transferMS)
+			}
 		}
 		p := sv.acquireProp()
 		p.r, p.succ = r, e.to

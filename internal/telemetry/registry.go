@@ -3,7 +3,6 @@ package telemetry
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,14 +19,23 @@ type Labels []string
 // exposition. All methods are safe for concurrent use — the simulation
 // loop records while the /metrics listener snapshots.
 type Registry struct {
-	mu       sync.Mutex
+	mu       *sync.Mutex
 	families map[string]*family
 	names    []string // family names in first-registration order
+	keyBuf   []byte   // scratch for allocation-free series lookups
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry guarded by its own mutex.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return newSharedRegistry(&sync.Mutex{})
+}
+
+// newSharedRegistry returns a registry guarded by an external mutex, so
+// an owner (the Recorder) can update many series under one acquisition
+// via the *Locked entry points. Callers of the public Metric methods
+// must not already hold mu.
+func newSharedRegistry(mu *sync.Mutex) *Registry {
+	return &Registry{mu: mu, families: make(map[string]*family)}
 }
 
 type metricKind int
@@ -74,33 +82,47 @@ type Metric struct {
 	sum     float64
 }
 
-// labelsKey renders labels sorted by key for series identity and output.
-func labelsKey(labels Labels) string {
+// appendLabelsKey renders labels sorted by key into dst for series
+// identity and output. It allocates nothing beyond dst growth: the sort
+// is an insertion sort over a small index array (label sets here are
+// one to three pairs), so lazy per-event series lookups stay free.
+func appendLabelsKey(dst []byte, labels Labels) []byte {
 	if len(labels) == 0 {
-		return ""
+		return dst
 	}
 	if len(labels)%2 != 0 {
 		panic("telemetry: odd label list")
 	}
-	type kv struct{ k, v string }
-	pairs := make([]kv, 0, len(labels)/2)
-	for i := 0; i+1 < len(labels); i += 2 {
-		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	n := len(labels) / 2
+	var idxBuf [8]int
+	idx := idxBuf[:0]
+	if n > len(idxBuf) {
+		idx = make([]int, 0, n)
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, p := range pairs {
-		if i > 0 {
-			b.WriteByte(',')
+	for i := 0; i < n; i++ {
+		idx = append(idx, i*2)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && labels[idx[j]] < labels[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
-		b.WriteString(p.k)
-		b.WriteString(`="`)
-		b.WriteString(escapeLabel(p.v))
-		b.WriteByte('"')
 	}
-	b.WriteByte('}')
-	return b.String()
+	dst = append(dst, '{')
+	for i, k := range idx {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, labels[k]...)
+		dst = append(dst, '=', '"')
+		dst = append(dst, escapeLabel(labels[k+1])...)
+		dst = append(dst, '"')
+	}
+	return append(dst, '}')
+}
+
+// labelsKey renders labels sorted by key as a string.
+func labelsKey(labels Labels) string {
+	return string(appendLabelsKey(nil, labels))
 }
 
 func escapeLabel(v string) string {
@@ -116,15 +138,24 @@ func escapeLabel(v string) string {
 func (r *Registry) get(name, help string, kind metricKind, labels Labels) *Metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.getLocked(name, help, kind, labels)
+}
+
+// getLocked is get for callers already holding r.mu. A lookup that hits
+// an existing series allocates nothing: the rendered label key lives in
+// the registry's scratch buffer and only becomes a string on first
+// registration.
+func (r *Registry) getLocked(name, help string, kind metricKind, labels Labels) *Metric {
 	f := r.families[name]
 	if f == nil {
 		f = &family{name: name, help: help, kind: kind, series: make(map[string]*Metric)}
 		r.families[name] = f
 		r.names = append(r.names, name)
 	}
-	key := labelsKey(labels)
-	m := f.series[key]
+	r.keyBuf = appendLabelsKey(r.keyBuf[:0], labels)
+	m := f.series[string(r.keyBuf)]
 	if m == nil {
+		key := string(r.keyBuf)
 		m = &Metric{reg: r, kind: f.kind, labelsStr: key}
 		if f.kind == kindHistogram {
 			m.buckets = make([]uint64, sim.NumHistogramBuckets)
@@ -185,6 +216,19 @@ func (m *Metric) Observe(v float64) {
 	m.reg.mu.Unlock()
 }
 
+// addLocked / setLocked / observeLocked are the raw series updates for
+// an owner already holding the registry mutex (the Recorder batches a
+// whole runtime event under one acquisition). Calling the public
+// Add/Set/Observe while holding the shared mutex would deadlock.
+func (m *Metric) addLocked(v float64) { m.val += v }
+func (m *Metric) incLocked()          { m.val++ }
+func (m *Metric) setLocked(v float64) { m.val = v }
+func (m *Metric) observeLocked(v float64) {
+	m.buckets[sim.BucketIndex(v)]++
+	m.count++
+	m.sum += v
+}
+
 // HistCount returns a histogram series' observation count.
 func (m *Metric) HistCount() uint64 {
 	m.reg.mu.Lock()
@@ -235,6 +279,11 @@ func formatValue(v float64) string {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.writeLocked(w)
+}
+
+// writeLocked renders the exposition for callers already holding r.mu.
+func (r *Registry) writeLocked(w io.Writer) error {
 	for _, name := range r.names {
 		f := r.families[name]
 		if f.help != "" {

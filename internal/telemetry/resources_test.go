@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// gaugeVal reads a gauge series after forcing the scrape-time sync that
+// refreshes derived values (ratios are only pushed on exposition).
+func gaugeVal(t *testing.T, r *Recorder, name string, labels ...string) float64 {
+	t.Helper()
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return r.Registry().Gauge(name, "", labels...).Value()
+}
+
+// TestResourceAccounting drives the allocated/allocatable gauge triples
+// through the ResourceObserver events and checks the two load-bearing
+// properties: busy counts clamp to 0/1 slot occupancy, and the node
+// aggregate tracks the boards incrementally.
+func TestResourceAccounting(t *testing.T) {
+	r := New()
+	r.BeginSession("test")
+	r.RegisterNodeResource(ResComputeSlots, 2)
+	r.RegisterNodeResource(ResPowerW, 300)
+	r.RegisterNodeResource(ResFPGARegions, 1)
+	r.RegisterBoardResource("gpu0", ResComputeSlots, 1)
+	r.RegisterBoardResource("gpu0", ResPowerW, 200)
+	r.RegisterBoardResource("fpga0", ResComputeSlots, 1)
+	r.RegisterBoardResource("fpga0", ResPowerW, 100)
+	r.RegisterBoardResource("fpga0", ResFPGARegions, 1)
+
+	if got := gaugeVal(t, r, "poly_node_allocatable", "resource", ResComputeSlots); got != 2 {
+		t.Fatalf("node allocatable slots = %v, want 2", got)
+	}
+	if got := gaugeVal(t, r, "poly_board_allocatable", "board", "gpu0", "resource", ResPowerW); got != 200 {
+		t.Fatalf("gpu0 allocatable watts = %v, want 200", got)
+	}
+
+	// An FPGA pipelining three in-flight tasks still occupies one slot.
+	r.BusyChanged("fpga0", 3, 10)
+	if got := gaugeVal(t, r, "poly_board_allocated", "board", "fpga0", "resource", ResComputeSlots); got != 1 {
+		t.Fatalf("fpga0 allocated slots with busy=3 = %v, want 1 (clamped)", got)
+	}
+	r.BusyChanged("gpu0", 1, 11)
+	if got := gaugeVal(t, r, "poly_node_allocated", "resource", ResComputeSlots); got != 2 {
+		t.Fatalf("node allocated slots = %v, want 2", got)
+	}
+	if got := gaugeVal(t, r, "poly_node_utilization_ratio", "resource", ResComputeSlots); got != 1 {
+		t.Fatalf("node slot utilization = %v, want 1", got)
+	}
+	r.BusyChanged("fpga0", 0, 12)
+	r.BusyChanged("gpu0", 0, 12)
+	if got := gaugeVal(t, r, "poly_node_allocated", "resource", ResComputeSlots); got != 0 {
+		t.Fatalf("node allocated slots after drain = %v, want 0", got)
+	}
+
+	r.PowerChanged("gpu0", 150, 13)
+	r.PowerChanged("fpga0", 30, 13)
+	if got := gaugeVal(t, r, "poly_node_allocated", "resource", ResPowerW); got != 180 {
+		t.Fatalf("node allocated watts = %v, want 180", got)
+	}
+	if got := gaugeVal(t, r, "poly_board_utilization_ratio", "board", "gpu0", "resource", ResPowerW); got != 0.75 {
+		t.Fatalf("gpu0 power utilization = %v, want 0.75", got)
+	}
+	if got := gaugeVal(t, r, "poly_node_utilization_ratio", "resource", ResPowerW); got != 180.0/300.0 {
+		t.Fatalf("node power utilization = %v, want 0.6", got)
+	}
+
+	r.BitstreamResident("fpga0", "fft.v2", 14)
+	if got := gaugeVal(t, r, "poly_board_allocated", "board", "fpga0", "resource", ResFPGARegions); got != 1 {
+		t.Fatalf("fpga0 regions with resident bitstream = %v, want 1", got)
+	}
+	r.BitstreamResident("fpga0", "", 15)
+	if got := gaugeVal(t, r, "poly_node_allocated", "resource", ResFPGARegions); got != 0 {
+		t.Fatalf("node regions after blank = %v, want 0", got)
+	}
+}
+
+// TestResourceAccountingEdges pins the defensive paths: unknown resource
+// names are ignored rather than corrupting a known slot, a zero
+// allocatable reports ratio 0 instead of dividing by zero, and repeated
+// identical occupancy updates don't drift the node aggregate.
+func TestResourceAccountingEdges(t *testing.T) {
+	r := New()
+	r.RegisterNodeResource("petaflops", 1) // silently ignored
+	r.RegisterBoardResource("gpu0", "petaflops", 1)
+	r.RegisterNodeResource(ResComputeSlots, 0)
+	r.RegisterBoardResource("gpu0", ResComputeSlots, 1)
+
+	r.BusyChanged("gpu0", 1, 1)
+	r.BusyChanged("gpu0", 2, 2) // still one slot; aggregate must not double-count
+	r.BusyChanged("gpu0", 1, 3)
+	if got := gaugeVal(t, r, "poly_node_allocated", "resource", ResComputeSlots); got != 1 {
+		t.Fatalf("node allocated after repeated busy updates = %v, want 1", got)
+	}
+	if got := gaugeVal(t, r, "poly_node_utilization_ratio", "resource", ResComputeSlots); got != 0 {
+		t.Fatalf("ratio with zero allocatable = %v, want 0", got)
+	}
+	// The bogus resource must not have minted any series.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "petaflops") {
+		t.Fatal("unknown resource name leaked into the exposition")
+	}
+}

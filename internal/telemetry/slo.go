@@ -1,0 +1,121 @@
+package telemetry
+
+// sloTracker measures the QoS-violation burn rate over two sliding
+// windows of simulated time — the multiwindow alerting shape: the long
+// window establishes that real error budget is gone, the short window
+// that it is still burning, so a trip is both significant and current.
+// Burn rate is the windowed violation ratio over the SLO target (a
+// target of 0.01 means a 2% violation ratio burns at 2.0).
+//
+// The clock is the deterministic simulated timeline, so trips land on
+// the same request at any worker-pool size. One append-only deque holds
+// (timestamp, bad) points; two head indices trail it, one per window,
+// and the buffer compacts in place when the long head passes half the
+// slice — O(1) amortized per observation, no per-window copies.
+type sloTracker struct {
+	target    float64
+	shortMS   float64
+	longMS    float64
+	threshold float64
+
+	points    []sloPoint
+	shortHead int // first point inside the short window
+	longHead  int // first point inside the long window
+
+	shortBad, shortTot int
+	longBad, longTot   int
+
+	alerting bool
+}
+
+type sloPoint struct {
+	ts  float64
+	bad bool
+}
+
+func newSLOTracker(target, shortMS, longMS, threshold float64) *sloTracker {
+	return &sloTracker{target: target, shortMS: shortMS, longMS: longMS, threshold: threshold}
+}
+
+// observe records one measured request at ts and reports whether the
+// burn alert tripped on this observation (false while already alerting;
+// the alert clears with 2:1 hysteresis on the short window). The
+// returned rates are the post-observation short and long burn rates.
+func (t *sloTracker) observe(ts float64, bad bool) (trip bool, shortBurn, longBurn float64) {
+	t.points = append(t.points, sloPoint{ts: ts, bad: bad})
+	t.shortTot++
+	t.longTot++
+	if bad {
+		t.shortBad++
+		t.longBad++
+	}
+	t.advance(ts)
+	shortBurn = t.burn(t.shortBad, t.shortTot)
+	longBurn = t.burn(t.longBad, t.longTot)
+	switch {
+	case !t.alerting && shortBurn >= t.threshold && longBurn >= t.threshold:
+		t.alerting = true
+		trip = true
+	case t.alerting && shortBurn < t.threshold/2:
+		t.alerting = false
+	}
+	return trip, shortBurn, longBurn
+}
+
+// advance expires points older than each window and compacts the deque
+// once the long head passes half the buffer.
+func (t *sloTracker) advance(now float64) {
+	for t.shortHead < len(t.points) && t.points[t.shortHead].ts < now-t.shortMS {
+		if t.points[t.shortHead].bad {
+			t.shortBad--
+		}
+		t.shortTot--
+		t.shortHead++
+	}
+	for t.longHead < len(t.points) && t.points[t.longHead].ts < now-t.longMS {
+		if t.points[t.longHead].bad {
+			t.longBad--
+		}
+		t.longTot--
+		t.longHead++
+	}
+	if t.longHead > len(t.points)/2 && t.longHead > 0 {
+		n := copy(t.points, t.points[t.longHead:])
+		t.points = t.points[:n]
+		t.shortHead -= t.longHead
+		t.longHead = 0
+	}
+}
+
+// reset drops all windowed state, keeping the configuration and the
+// points buffer's backing array. Called when a new session restarts the
+// simulated clock at zero — stale points from the previous timeline
+// would never expire against the younger timestamps.
+func (t *sloTracker) reset() {
+	t.points = t.points[:0]
+	t.shortHead, t.longHead = 0, 0
+	t.shortBad, t.shortTot = 0, 0
+	t.longBad, t.longTot = 0, 0
+	t.alerting = false
+}
+
+func (t *sloTracker) burn(bad, tot int) float64 {
+	if tot == 0 || t.target <= 0 {
+		return 0
+	}
+	return float64(bad) / float64(tot) / t.target
+}
+
+// rates returns the current burn rates and raw violation ratios for
+// both windows (short, long), for scrape-time gauge sync.
+func (t *sloTracker) rates() (shortBurn, longBurn, shortVio, longVio float64) {
+	shortBurn = t.burn(t.shortBad, t.shortTot)
+	longBurn = t.burn(t.longBad, t.longTot)
+	if t.shortTot > 0 {
+		shortVio = float64(t.shortBad) / float64(t.shortTot)
+	}
+	if t.longTot > 0 {
+		longVio = float64(t.longBad) / float64(t.longTot)
+	}
+	return
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSLOTrackerTripAndHysteresis walks the multiwindow alert through a
+// full incident: quiet baseline, burn past the threshold in both
+// windows (one trip, not one per observation), then recovery with the
+// 2:1 hysteresis — the alert holds until the short burn falls below
+// half the trip threshold, so a flapping tail can't strobe it.
+func TestSLOTrackerTripAndHysteresis(t *testing.T) {
+	// target 10%: a violation ratio of 0.2 burns at 2.0 (the threshold).
+	tr := newSLOTracker(0.10, 100, 1000, 2.0)
+
+	ts := 0.0
+	emit := func(n int, bad bool) (trips int) {
+		for i := 0; i < n; i++ {
+			ts += 1
+			if trip, _, _ := tr.observe(ts, bad); trip {
+				trips++
+			}
+		}
+		return trips
+	}
+
+	if got := emit(200, false); got != 0 {
+		t.Fatalf("healthy baseline tripped %d times", got)
+	}
+	// All-bad traffic pushes both windows to burn 10 >= 2: exactly one
+	// trip no matter how long the incident runs.
+	if got := emit(300, true); got != 1 {
+		t.Fatalf("incident tripped %d times, want exactly 1", got)
+	}
+	if !tr.alerting {
+		t.Fatal("tracker not alerting mid-incident")
+	}
+
+	// Recovery: good traffic dilutes the short window first. The alert
+	// must clear only once shortBurn < threshold/2 (ratio < 0.1), and a
+	// renewed incident must be able to trip again.
+	emit(95, false) // short window now 5 bad / 100 → burn 0.5 < 1.0
+	if tr.alerting {
+		sb, _, _, _ := tr.rates()
+		t.Fatalf("alert should have cleared, short burn %v", sb)
+	}
+	// But not earlier: rebuild and check the boundary.
+	tr2 := newSLOTracker(0.10, 100, 1000, 2.0)
+	ts2 := 0.0
+	for i := 0; i < 100; i++ {
+		ts2++
+		tr2.observe(ts2, true)
+	}
+	for i := 0; i < 80; i++ { // short window: 20 bad / 100 → burn 2.0, still >= 1.0
+		ts2++
+		tr2.observe(ts2, false)
+	}
+	if !tr2.alerting {
+		t.Fatal("alert cleared above the hysteresis floor")
+	}
+
+	if got := emit(300, true); got != 1 {
+		t.Fatalf("second incident tripped %d times, want 1", got)
+	}
+}
+
+// TestSLOTrackerLongWindowGuard checks the "significant AND current"
+// property: a short bad burst inside an otherwise healthy long window
+// must not trip, because the long window hasn't lost real budget yet.
+func TestSLOTrackerLongWindowGuard(t *testing.T) {
+	tr := newSLOTracker(0.10, 100, 1000, 2.0)
+	ts := 0.0
+	for i := 0; i < 900; i++ {
+		ts++
+		if trip, _, _ := tr.observe(ts, false); trip {
+			t.Fatal("tripped on healthy traffic")
+		}
+	}
+	// 30 bad in a row: short burn 30/100/0.1 = 3.0 >= 2, but long burn
+	// 30/930/0.1 ≈ 0.32 < 2 — no trip.
+	for i := 0; i < 30; i++ {
+		ts++
+		if trip, short, long := tr.observe(ts, true); trip {
+			t.Fatalf("short burst tripped (short %v long %v)", short, long)
+		}
+	}
+}
+
+// TestSLOTrackerReset pins the new-session contract: reset drops every
+// windowed point and the alert latch, so a fresh timeline starting at
+// t=0 never sees ghosts from the previous session's larger clock.
+func TestSLOTrackerReset(t *testing.T) {
+	tr := newSLOTracker(0.10, 100, 1000, 2.0)
+	for i := 0; i < 500; i++ {
+		tr.observe(float64(i)*10, true)
+	}
+	if !tr.alerting {
+		t.Fatal("setup: tracker should be alerting")
+	}
+	tr.reset()
+	if tr.alerting || len(tr.points) != 0 || tr.shortHead != 0 || tr.longHead != 0 {
+		t.Fatalf("reset left state behind: %+v", tr)
+	}
+	sb, lb, sv, lv := tr.rates()
+	if sb != 0 || lb != 0 || sv != 0 || lv != 0 {
+		t.Fatalf("rates after reset = %v %v %v %v, want zeros", sb, lb, sv, lv)
+	}
+	// The fresh timeline behaves like a fresh tracker.
+	if trip, short, _ := tr.observe(1, false); trip || short != 0 {
+		t.Fatalf("first post-reset observation: trip=%v short=%v", trip, short)
+	}
+}
+
+// TestSLOTrackerMatchesBruteForce shadows the incremental deque (head
+// advancement, in-place compaction) with a from-scratch recomputation
+// over the full history at every step. Any expiry or compaction bug
+// shows up as a rate mismatch.
+func TestSLOTrackerMatchesBruteForce(t *testing.T) {
+	const (
+		target    = 0.01
+		shortMS   = 50.0
+		longMS    = 400.0
+		threshold = 2.0
+	)
+	tr := newSLOTracker(target, shortMS, longMS, threshold)
+	rng := rand.New(rand.NewSource(9))
+
+	type pt struct {
+		ts  float64
+		bad bool
+	}
+	var hist []pt
+	ts := 0.0
+	for i := 0; i < 5000; i++ {
+		ts += rng.Float64() * 5
+		bad := rng.Float64() < 0.03
+		hist = append(hist, pt{ts, bad})
+		_, gotShort, gotLong := tr.observe(ts, bad)
+
+		var sBad, sTot, lBad, lTot int
+		for _, p := range hist {
+			if p.ts >= ts-longMS {
+				lTot++
+				if p.bad {
+					lBad++
+				}
+			}
+			if p.ts >= ts-shortMS {
+				sTot++
+				if p.bad {
+					sBad++
+				}
+			}
+		}
+		wantShort := float64(sBad) / float64(sTot) / target
+		wantLong := float64(lBad) / float64(lTot) / target
+		if math.Float64bits(gotShort) != math.Float64bits(wantShort) ||
+			math.Float64bits(gotLong) != math.Float64bits(wantLong) {
+			t.Fatalf("step %d: burn (%v, %v), brute force (%v, %v)",
+				i, gotShort, gotLong, wantShort, wantLong)
+		}
+	}
+	inWindow := 0
+	for _, p := range hist {
+		if p.ts >= ts-longMS {
+			inWindow++
+		}
+	}
+	if len(tr.points) > 2*inWindow+2 {
+		t.Fatalf("compaction never ran: %d points retained for a %d-point window",
+			len(tr.points), inWindow)
+	}
+}

@@ -1,5 +1,7 @@
 package telemetry
 
+import "math"
+
 // KernelSpan is one kernel execution inside a request span: where it was
 // placed and how its time split between queueing and service.
 type KernelSpan struct {
@@ -9,9 +11,17 @@ type KernelSpan struct {
 	// QueuedMS is when the runtime submitted the task to its device.
 	QueuedMS float64
 	// StartMS is when the device began executing it (its launch/initiation
-	// instant); EndMS is its completion.
+	// instant); EndMS is its completion. A record whose EndMS never passed
+	// StartMS is a failed attempt (the board lost the task) and is excluded
+	// from histograms and stage attribution.
 	StartMS float64
 	EndMS   float64
+	// Retried marks a record created by a kernel re-placement after a
+	// device task failure; RetryFromMS is the failure instant, so
+	// [RetryFromMS, StartMS] is the backoff-and-requeue window the retry
+	// stage attributes.
+	Retried     bool
+	RetryFromMS float64
 }
 
 // QueueMS is the time the task waited behind the device queue (including
@@ -21,9 +31,79 @@ func (k *KernelSpan) QueueMS() float64 { return k.StartMS - k.QueuedMS }
 // ServiceMS is the pure execution span.
 func (k *KernelSpan) ServiceMS() float64 { return k.EndMS - k.StartMS }
 
+// Interval is a half-open [StartMS, EndMS) slice of simulated time.
+type Interval struct{ StartMS, EndMS float64 }
+
+// Stage indices of the fixed latency breakdown. Order is the canonical
+// summation order of StageBreakdown.SumMS.
+const (
+	StageHold = iota
+	StagePlan
+	StageExec
+	StageTransfer
+	StageRetry
+	StageQueue
+	NumStages
+)
+
+// StageNames maps stage indices to their metric label values.
+var StageNames = [NumStages]string{"hold", "plan", "exec", "transfer", "retry", "queue"}
+
+// StageBreakdown is a request's end-to-end latency split into fixed
+// stages. The invariant — enforced by ComputeStages and tested — is that
+// SumMS() equals Span.LatencyMS bit-exactly.
+//
+//   - HoldMS: admission-batch staging (copied from Span.HoldMS).
+//   - PlanMS: planning time. The simulator plans instantaneously, so this
+//     is 0 today; it is part of the fixed shape so the exposition and the
+//     fleet router never change schema when planning gains a cost model.
+//   - ExecMS: union of the kernels' device execution intervals.
+//   - TransferMS: union of inter-device PCIe transfer intervals not
+//     already covered by execution (a transfer overlapping a concurrent
+//     kernel is attributed to exec).
+//   - RetryMS: union of failure→restart windows not covered by exec or
+//     transfer.
+//   - QueueMS: the remainder — device queueing and DAG dependency stalls.
+//     Computed as LatencyMS minus the other stages and then nudged by
+//     ULPs so the canonical sum reproduces LatencyMS exactly.
+type StageBreakdown struct {
+	HoldMS     float64
+	PlanMS     float64
+	ExecMS     float64
+	TransferMS float64
+	RetryMS    float64
+	QueueMS    float64
+}
+
+// SumMS adds the stages in the canonical order the QueueMS remainder was
+// solved against: ((((hold+plan)+exec)+transfer)+retry)+queue.
+func (b *StageBreakdown) SumMS() float64 {
+	return ((((b.HoldMS + b.PlanMS) + b.ExecMS) + b.TransferMS) + b.RetryMS) + b.QueueMS
+}
+
+// Get returns the stage value at a StageNames index.
+func (b *StageBreakdown) Get(stage int) float64 {
+	switch stage {
+	case StageHold:
+		return b.HoldMS
+	case StagePlan:
+		return b.PlanMS
+	case StageExec:
+		return b.ExecMS
+	case StageTransfer:
+		return b.TransferMS
+	case StageRetry:
+		return b.RetryMS
+	default:
+		return b.QueueMS
+	}
+}
+
 // Span follows one request from admission through its kernel DAG to
 // completion. The runtime owns and fills it; FinishSpan hands it to the
-// recorder's bounded ring.
+// recorder's bounded ring. Spans evicted from the ring are recycled, so
+// a Spans() snapshot is only valid until enough newer requests finish to
+// wrap the ring.
 type Span struct {
 	ID uint64
 	// ArrivedMS is the admission instant; BoundMS the QoS bound the
@@ -56,18 +136,42 @@ type Span struct {
 	Batched   bool
 	BatchSize int
 	HoldMS    float64
+	// Stages is the fixed latency breakdown, filled by ComputeStages when
+	// the span finishes (zero for dropped spans).
+	Stages StageBreakdown
+	// Transfers are the inter-device PCIe transfer windows the request's
+	// DAG edges crossed, in completion order.
+	Transfers []Interval
 	// Kernels are the per-kernel placements, in submission order. Entries
 	// are pointers so a record handed out by AddKernel stays valid while
 	// later submissions grow the slice.
 	Kernels []*KernelSpan
+
+	sweep []stagePoint // scratch for ComputeStages, reused across recycles
 }
 
 // AddKernel appends a kernel record and returns it for the runtime to
-// fill in start/end as the device reports them.
+// fill in start/end as the device reports them. Recycled spans reuse the
+// KernelSpan allocations left in the backing array by earlier requests.
 func (s *Span) AddKernel(kernel, device, implID string, queuedMS float64) *KernelSpan {
+	n := len(s.Kernels)
+	if n < cap(s.Kernels) {
+		s.Kernels = s.Kernels[:n+1]
+		if k := s.Kernels[n]; k != nil {
+			*k = KernelSpan{Kernel: kernel, Device: device, ImplID: implID, QueuedMS: queuedMS}
+			return k
+		}
+	} else {
+		s.Kernels = append(s.Kernels, nil)
+	}
 	k := &KernelSpan{Kernel: kernel, Device: device, ImplID: implID, QueuedMS: queuedMS}
-	s.Kernels = append(s.Kernels, k)
+	s.Kernels[n] = k
 	return k
+}
+
+// AddTransfer records one inter-device transfer window.
+func (s *Span) AddTransfer(startMS, endMS float64) {
+	s.Transfers = append(s.Transfers, Interval{StartMS: startMS, EndMS: endMS})
 }
 
 // AdmitWaitMS is the time from admission until the first kernel started
@@ -83,6 +187,140 @@ func (s *Span) AdmitWaitMS() float64 {
 		return 0
 	}
 	return first - s.ArrivedMS
+}
+
+// reset re-initializes a recycled span, keeping the kernel, transfer,
+// and sweep backing arrays.
+func (s *Span) reset(id uint64, arrivedMS, boundMS float64) {
+	*s = Span{
+		ID: id, ArrivedMS: arrivedMS, BoundMS: boundMS,
+		Kernels:   s.Kernels[:0],
+		Transfers: s.Transfers[:0],
+		sweep:     s.sweep[:0],
+	}
+}
+
+// stagePoint is one interval boundary for the ComputeStages sweep.
+type stagePoint struct {
+	t     float64
+	class int8 // 0 exec, 1 transfer, 2 retry — lower wins overlaps
+	delta int8 // +1 open, -1 close
+}
+
+// ComputeStages fills s.Stages from the span's kernel, transfer, and
+// retry records. Overlapping intervals are attributed once, to the
+// highest-priority active stage (exec > transfer > retry), via a
+// boundary sweep; QueueMS is the remainder, ULP-corrected so that
+// Stages.SumMS() == s.LatencyMS bit-exactly.
+func (s *Span) ComputeStages() {
+	pts := s.sweep[:0]
+	for _, k := range s.Kernels {
+		if k.EndMS > k.StartMS {
+			pts = append(pts,
+				stagePoint{t: k.StartMS, class: 0, delta: 1},
+				stagePoint{t: k.EndMS, class: 0, delta: -1})
+		}
+		if k.Retried && k.StartMS > k.RetryFromMS && k.EndMS > k.StartMS {
+			pts = append(pts,
+				stagePoint{t: k.RetryFromMS, class: 2, delta: 1},
+				stagePoint{t: k.StartMS, class: 2, delta: -1})
+		}
+	}
+	for _, tr := range s.Transfers {
+		if tr.EndMS > tr.StartMS {
+			pts = append(pts,
+				stagePoint{t: tr.StartMS, class: 1, delta: 1},
+				stagePoint{t: tr.EndMS, class: 1, delta: -1})
+		}
+	}
+	s.sweep = pts
+	// Insertion sort by time: point counts are small (2 per interval) and
+	// this keeps the hot path allocation-free.
+	for i := 1; i < len(pts); i++ {
+		p := pts[i]
+		j := i - 1
+		for j >= 0 && pts[j].t > p.t {
+			pts[j+1] = pts[j]
+			j--
+		}
+		pts[j+1] = p
+	}
+	var exec, transfer, retry float64
+	var active [3]int
+	prev := 0.0
+	for i := 0; i < len(pts); {
+		t := pts[i].t
+		if i > 0 {
+			seg := t - prev
+			switch {
+			case active[0] > 0:
+				exec += seg
+			case active[1] > 0:
+				transfer += seg
+			case active[2] > 0:
+				retry += seg
+			}
+		}
+		for i < len(pts) && pts[i].t == t {
+			active[pts[i].class] += int(pts[i].delta)
+			i++
+		}
+		prev = t
+	}
+	b := StageBreakdown{HoldMS: s.HoldMS, PlanMS: 0,
+		ExecMS: exec, TransferMS: transfer, RetryMS: retry}
+	// Solve QueueMS as the remainder, then correct by result error until
+	// the canonical sum reproduces LatencyMS bit-exactly. The correction
+	// usually converges in a step or two: partial and target are within a
+	// factor of two once q is added, so the error subtraction is exact
+	// (Sterbenz) and each iteration cancels the remaining rounding. The
+	// one unreachable case is a round-to-even tie: when every candidate
+	// sum lands exactly half a ULP from LatencyMS, stepping q oscillates
+	// around the target forever. Shifting the largest measured stage by
+	// one ULP (invisible at millisecond scale) moves the sum lattice off
+	// the tie and the remainder becomes solvable.
+	q, ok := solveQueueRemainder(&b, s.LatencyMS)
+	for tries := 0; !ok && tries < 4; tries++ {
+		largest := &b.HoldMS
+		for _, v := range []*float64{&b.ExecMS, &b.TransferMS, &b.RetryMS} {
+			if *v > *largest {
+				largest = v
+			}
+		}
+		if *largest <= 0 {
+			break // partial is zero: q = LatencyMS is exact, cannot get here
+		}
+		*largest = math.Nextafter(*largest, math.Inf(-1))
+		q, ok = solveQueueRemainder(&b, s.LatencyMS)
+	}
+	b.QueueMS = q
+	s.Stages = b
+}
+
+// solveQueueRemainder finds q so the canonical stage sum reproduces
+// latency bit-exactly, reporting false if the iteration cannot land (a
+// rounding tie — see ComputeStages).
+func solveQueueRemainder(b *StageBreakdown, latency float64) (float64, bool) {
+	partial := (((b.HoldMS + b.PlanMS) + b.ExecMS) + b.TransferMS) + b.RetryMS
+	q := latency - partial
+	for i := 0; i < 16; i++ {
+		got := partial + q
+		if got == latency {
+			return q, true
+		}
+		nq := q + (latency - got)
+		if nq == q {
+			// The residual is below q's ULP (the subtraction was exact but
+			// too small to land, or rounded to zero): step one ULP instead.
+			if got > latency {
+				nq = math.Nextafter(q, math.Inf(-1))
+			} else {
+				nq = math.Nextafter(q, math.Inf(1))
+			}
+		}
+		q = nq
+	}
+	return q, false
 }
 
 // SpanRing is a bounded ring of finished spans: the newest cap spans are
@@ -103,14 +341,20 @@ func NewSpanRing(cap int) *SpanRing {
 }
 
 // Push records a finished span, evicting the oldest when full.
-func (r *SpanRing) Push(s *Span) {
+func (r *SpanRing) Push(s *Span) { r.PushEvict(s) }
+
+// PushEvict records a finished span and returns the span it displaced
+// (nil while the ring is filling) so the owner can recycle it.
+func (r *SpanRing) PushEvict(s *Span) *Span {
 	r.total++
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, s)
-		return
+		return nil
 	}
+	old := r.buf[r.next]
 	r.buf[r.next] = s
 	r.next = (r.next + 1) % cap(r.buf)
+	return old
 }
 
 // Total returns how many spans were ever pushed.

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkStageSum asserts the package invariant: the canonical stage sum
+// reproduces LatencyMS bit-exactly (not approximately — the exposition
+// promises an operator that the breakdown accounts for every last ULP
+// of the end-to-end latency).
+func checkStageSum(t *testing.T, sp *Span) {
+	t.Helper()
+	if got, want := sp.Stages.SumMS(), sp.LatencyMS; math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("stage sum %v (bits %x) != latency %v (bits %x); breakdown %+v",
+			got, math.Float64bits(got), want, math.Float64bits(want), sp.Stages)
+	}
+}
+
+// TestComputeStagesTable covers the attribution rules case by case:
+// overlap priority (exec > transfer > retry), failed-attempt exclusion,
+// hold passthrough, and the bit-exact remainder — including awkward
+// non-representable float layouts.
+func TestComputeStagesTable(t *testing.T) {
+	type kern struct {
+		queued, start, end float64
+		retried            bool
+		retryFrom          float64
+	}
+	// Runtime float64 arithmetic (not Go's exact constant arithmetic), so
+	// the expectations carry the same rounding the sweep sees.
+	awkStart := 0.1
+	awkEnd := awkStart + 0.2
+	cases := []struct {
+		name      string
+		latency   float64
+		hold      float64
+		kernels   []kern
+		transfers []Interval
+		exec      float64
+		transfer  float64
+		retry     float64
+	}{
+		{
+			name:    "empty span is all queue",
+			latency: 10.5,
+		},
+		{
+			name:    "single kernel",
+			latency: 12,
+			kernels: []kern{{queued: 0, start: 2, end: 7}},
+			exec:    5,
+		},
+		{
+			name:    "overlapping kernels count the union once",
+			latency: 20,
+			kernels: []kern{
+				{queued: 0, start: 2, end: 8},
+				{queued: 0, start: 5, end: 11},
+			},
+			exec: 9, // [2,11), not 6+6
+		},
+		{
+			name:    "disjoint kernels add",
+			latency: 20,
+			kernels: []kern{
+				{queued: 0, start: 1, end: 3},
+				{queued: 3, start: 6, end: 10},
+			},
+			exec: 6,
+		},
+		{
+			name:      "transfer fully inside exec attributes to exec",
+			latency:   15,
+			kernels:   []kern{{queued: 0, start: 2, end: 10}},
+			transfers: []Interval{{StartMS: 4, EndMS: 6}},
+			exec:      8,
+			transfer:  0,
+		},
+		{
+			name:      "transfer partially overlapping exec keeps its tail",
+			latency:   15,
+			kernels:   []kern{{queued: 0, start: 2, end: 6}},
+			transfers: []Interval{{StartMS: 5, EndMS: 9}},
+			exec:      4,
+			transfer:  3, // [6,9)
+		},
+		{
+			name:      "pure transfer",
+			latency:   8,
+			transfers: []Interval{{StartMS: 1, EndMS: 4}},
+			transfer:  3,
+		},
+		{
+			name:    "retry window between failure and restart",
+			latency: 30,
+			kernels: []kern{
+				{queued: 0, start: 2, end: 5},
+				{queued: 5, start: 12, end: 18, retried: true, retryFrom: 5}, // failed at 5, restarted at 12
+			},
+			exec:  9, // [2,5) + [12,18)
+			retry: 7, // [5,12)
+		},
+		{
+			name:    "retry window under concurrent exec attributes to exec",
+			latency: 30,
+			kernels: []kern{
+				{queued: 0, start: 2, end: 14},
+				{queued: 5, start: 12, end: 18, retried: true, retryFrom: 5},
+			},
+			exec:  16, // union [2,18)
+			retry: 0,  // [5,12) covered by the first kernel
+		},
+		{
+			name:    "failed attempt (end<=start) is excluded",
+			latency: 10,
+			kernels: []kern{
+				{queued: 0, start: 4, end: 4}, // board lost the task
+				{queued: 4, start: 6, end: 9},
+			},
+			exec: 3,
+		},
+		{
+			name:    "hold passes through",
+			latency: 25,
+			hold:    3.5,
+			kernels: []kern{{queued: 3.5, start: 5, end: 9}},
+			exec:    4,
+		},
+		{
+			name:    "awkward floats still sum bit-exactly",
+			latency: awkEnd + 0.30000000000000004,
+			kernels: []kern{{queued: 0, start: awkStart, end: awkEnd}},
+			exec:    awkEnd - awkStart,
+		},
+		{
+			name:    "latency smaller than coverage yields negative queue remainder",
+			latency: 3,
+			kernels: []kern{{queued: 0, start: 0, end: 5}},
+			exec:    5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := &Span{LatencyMS: tc.latency, HoldMS: tc.hold}
+			for _, k := range tc.kernels {
+				rec := sp.AddKernel("k", "dev", "impl", k.queued)
+				rec.StartMS, rec.EndMS = k.start, k.end
+				rec.Retried, rec.RetryFromMS = k.retried, k.retryFrom
+			}
+			for _, tr := range tc.transfers {
+				sp.AddTransfer(tr.StartMS, tr.EndMS)
+			}
+			sp.ComputeStages()
+			if sp.Stages.HoldMS != tc.hold {
+				t.Fatalf("hold = %v, want %v", sp.Stages.HoldMS, tc.hold)
+			}
+			if sp.Stages.ExecMS != tc.exec {
+				t.Fatalf("exec = %v, want %v", sp.Stages.ExecMS, tc.exec)
+			}
+			if sp.Stages.TransferMS != tc.transfer {
+				t.Fatalf("transfer = %v, want %v", sp.Stages.TransferMS, tc.transfer)
+			}
+			if sp.Stages.RetryMS != tc.retry {
+				t.Fatalf("retry = %v, want %v", sp.Stages.RetryMS, tc.retry)
+			}
+			checkStageSum(t, sp)
+		})
+	}
+}
+
+// TestComputeStagesRandomized hammers the ULP-correction path: random
+// interval soups with hostile float values must still satisfy the
+// bit-exact sum invariant, and recycled spans (reset + recompute) must
+// behave identically to fresh ones.
+func TestComputeStagesRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sp := &Span{} // reused across iterations, like the recorder's free list
+	for iter := 0; iter < 5000; iter++ {
+		sp.reset(uint64(iter), 0, 100)
+		// Physically-shaped spans — the contract the runtime provides: all
+		// stage intervals lie inside the request's [0, latency] window, so
+		// coverage never dwarfs the latency the remainder is solved
+		// against. Latencies span decades (~0.02 ms to ~3 s) to stress the
+		// ULP correction at every magnitude.
+		latency := math.Exp(rng.Float64()*12 - 4)
+		if rng.Intn(50) == 0 {
+			latency = 0 // instantaneously-completed request
+		}
+		sp.LatencyMS = latency
+		sp.HoldMS = rng.Float64() * 0.1 * latency
+		within := func() (float64, float64) {
+			a, b := rng.Float64()*latency, rng.Float64()*latency
+			if a > b {
+				a, b = b, a
+			}
+			return a, b
+		}
+		for i := rng.Intn(6); i > 0; i-- {
+			s, e := within()
+			if rng.Intn(10) == 0 {
+				e = s // failed attempt: the board lost the task
+			}
+			k := sp.AddKernel("k", "dev", "impl", s*rng.Float64())
+			k.StartMS, k.EndMS = s, e
+			if rng.Intn(3) == 0 {
+				k.Retried = true
+				k.RetryFromMS = s * rng.Float64()
+			}
+		}
+		for i := rng.Intn(3); i > 0; i-- {
+			s, e := within()
+			sp.AddTransfer(s, e)
+		}
+		sp.ComputeStages()
+		checkStageSum(t, sp)
+		for i := 0; i < NumStages; i++ {
+			if i == StageQueue {
+				continue // queue is a signed remainder by design
+			}
+			if v := sp.Stages.Get(i); v < 0 || math.IsNaN(v) {
+				t.Fatalf("iter %d: stage %s = %v", iter, StageNames[i], v)
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 // Package telemetry is Poly's runtime observability layer: a label-keyed
 // metric registry (counters, gauges, fixed-bucket latency histograms), a
-// bounded ring of per-request spans, and two exporters — Prometheus text
-// exposition for a live /metrics endpoint and a Chrome trace-event JSON
-// dump (Perfetto-loadable) of the simulated timeline.
+// bounded ring of per-request spans with a fixed stage-latency breakdown,
+// per-resource allocated/allocatable accounting, an SLO burn-rate
+// tracker, a QoS flight recorder, and exporters — Prometheus text
+// exposition for a live /metrics endpoint and Chrome trace-event JSON
+// dumps (Perfetto-loadable) of the simulated timeline.
 //
 // Determinism rule: every timestamp that enters this package is a
 // sim.Time from the single-threaded discrete-event simulator, never wall
@@ -11,6 +13,13 @@
 // interface: a disabled sink costs the emitting layers only nil-checks,
 // which is what keeps the telemetry-off serving path within noise of the
 // un-instrumented one (BenchmarkServeSteadyState).
+//
+// The enabled path is budgeted too: one mutex acquisition per runtime
+// event, per-board series pointers cached at registration, compact
+// (map-free) trace events, and recycled spans keep
+// BenchmarkServeTelemetryOn within 10% of telemetry-off (CI-gated).
+// Derived series — utilization ratios, stage percentiles, SLO burn
+// gauges — are synced lazily at scrape time, not per event.
 package telemetry
 
 import (
@@ -22,9 +31,10 @@ import (
 )
 
 // Sink receives runtime events. *Recorder implements it; emitting layers
-// hold a nil Sink when telemetry is disabled. The device-facing subset
-// (Launched, ReconfigStart, DVFSChanged) structurally satisfies
-// device.Observer, so one sink serves every layer.
+// hold a nil Sink when telemetry is disabled. The device-facing subsets
+// (Launched/ReconfigStart/DVFSChanged, and BusyChanged/PowerChanged/
+// BitstreamResident) structurally satisfy device.Observer and
+// device.ResourceObserver, so one sink serves every layer.
 type Sink interface {
 	// BeginSession opens a new serving session (one server run). Each
 	// session becomes one Perfetto process with its own board tracks.
@@ -33,11 +43,22 @@ type Sink interface {
 	// "GPU" or "FPGA".
 	RegisterBoard(name, class string)
 
+	// RegisterNodeResource declares a node-level resource envelope
+	// (ResComputeSlots, ResPowerW, ResFPGARegions) and its allocatable
+	// capacity, creating the poly_node_{allocated,allocatable,
+	// utilization_ratio} gauge set.
+	RegisterNodeResource(resource string, allocatable float64)
+	// RegisterBoardResource declares one board's share of a resource,
+	// creating the per-board gauge variants.
+	RegisterBoardResource(board, resource string, allocatable float64)
+
 	// StartSpan opens a per-request span at admission; the runtime fills
 	// plan fields and kernel records, then hands it back via FinishSpan.
 	StartSpan(at sim.Time, boundMS float64) *Span
-	// FinishSpan records a completed request: ring, latency histograms,
-	// outcome counters, and a violation instant on the trace.
+	// FinishSpan records a completed request: ring, latency and stage
+	// histograms, outcome counters, SLO burn tracking, and a violation
+	// instant on the trace (a measured violation also trips the flight
+	// recorder).
 	FinishSpan(sp *Span, at sim.Time)
 	// PlanError counts a request dropped at planning time.
 	PlanError(at sim.Time)
@@ -57,7 +78,8 @@ type Sink interface {
 	// failure: the board that lost the task and the kernel re-placed.
 	TaskRetry(device, kernel string, at sim.Time)
 	// BoardHealthChanged records a board health-state transition
-	// (healthy, suspect, down) made by the runtime's monitor.
+	// (healthy, suspect, down) made by the runtime's monitor. A
+	// transition to down trips the flight recorder.
 	BoardHealthChanged(device, from, to string, at sim.Time)
 
 	// GovernorTransition records a governor mode change and its cause.
@@ -72,38 +94,159 @@ type Sink interface {
 	ReconfigStart(device, implID string, at sim.Time, stallMS float64, background bool)
 	// DVFSChanged records a GPU operating-point change.
 	DVFSChanged(device string, level int, at sim.Time)
+
+	// BusyChanged records a board's in-flight task count (compute-slot
+	// occupancy); PowerChanged its instantaneous draw; BitstreamResident
+	// the bitstream occupying an FPGA's region ("" = blank). Together
+	// these drive the resource-accounting gauges.
+	BusyChanged(device string, busy int, at sim.Time)
+	PowerChanged(device string, watts float64, at sim.Time)
+	BitstreamResident(device, implID string, at sim.Time)
 }
 
 // Options tunes a Recorder.
 type Options struct {
 	// SpanRingCap bounds the retained finished spans (default 1024).
+	// Evicted spans are recycled, so snapshots from Spans() are only
+	// valid until the ring wraps past them.
 	SpanRingCap int
 	// TraceEventCap bounds the trace buffer (default 1<<20 events);
 	// overflow increments poly_trace_events_dropped_total.
 	TraceEventCap int
+	// MetricsOnly disables the trace buffer, flight recorder, and
+	// per-session Perfetto tracks, leaving only the metric registry and
+	// span ring. In this mode the recorder is safe to share across
+	// concurrently-running sessions (a parallel polybench sweep):
+	// counters and histograms accumulate correctly from any worker;
+	// gauges are last-writer-wins.
+	MetricsOnly bool
+	// FlightRingCap bounds the flight-recorder ring (default 8192
+	// events, oldest overwritten).
+	FlightRingCap int
+	// FlightWindowMS is how much trailing simulated time a flight dump
+	// keeps before the trigger (default 2000 ms).
+	FlightWindowMS float64
+	// SLOTarget is the violation budget the burn rate is measured
+	// against (default 0.01 — a 1% violation ratio burns at rate 1.0).
+	SLOTarget float64
+	// SLOShortWindowMS / SLOLongWindowMS are the two sliding windows
+	// (defaults 5000 ms and 60000 ms).
+	SLOShortWindowMS float64
+	SLOLongWindowMS  float64
+	// SLOBurnThreshold trips the burn alert when both windows exceed it
+	// (default 2.0); the alert clears with 2:1 hysteresis.
+	SLOBurnThreshold float64
+}
+
+func (o *Options) withDefaults() {
+	if o.SpanRingCap <= 0 {
+		o.SpanRingCap = 1024
+	}
+	if o.TraceEventCap <= 0 {
+		o.TraceEventCap = 1 << 20
+	}
+	if o.FlightRingCap <= 0 {
+		o.FlightRingCap = 8192
+	}
+	if o.FlightWindowMS <= 0 {
+		o.FlightWindowMS = 2000
+	}
+	if o.SLOTarget <= 0 {
+		o.SLOTarget = 0.01
+	}
+	if o.SLOShortWindowMS <= 0 {
+		o.SLOShortWindowMS = 5000
+	}
+	if o.SLOLongWindowMS <= 0 {
+		o.SLOLongWindowMS = 60000
+	}
+	if o.SLOBurnThreshold <= 0 {
+		o.SLOBurnThreshold = 2.0
+	}
+}
+
+// boardState caches everything the hot path needs for one board: its
+// Perfetto track, its metric series pointers (resolved once at
+// registration instead of per event), and its raw resource occupancy.
+type boardState struct {
+	name  string
+	class string
+	tid   int32
+
+	label int32 // interned "name (class)" track label
+
+	launches, busyMS       *Metric
+	queueHist, serviceHist *Metric
+	dvfs                   *Metric
+	reconfigFG, reconfigBG *Metric
+	reconfigStall          *Metric
+	execs                  map[string]*Metric // kernel → exec counter
+
+	res    [numResources]resVals
+	resOn  [numResources]bool
+	gauges [numResources]resGauges
 }
 
 // Recorder is the standard Sink: it feeds the registry, the span ring,
-// and the trace buffer. Safe for concurrent use (the /metrics listener
-// reads while the simulation records), though a single simulation is
-// itself single-threaded.
+// the trace buffer, the flight recorder, and the SLO tracker. Safe for
+// concurrent use (the /metrics listener reads while the simulation
+// records); each runtime event takes the recorder mutex exactly once.
 type Recorder struct {
 	mu    sync.Mutex
 	reg   *Registry
 	spans *SpanRing
 	trace *traceBuf
+	tab   *strtab
+	in    fixedIDs
+	opts  Options
 
-	session  int            // current Perfetto pid; 0 before BeginSession
-	boards   map[string]int // board name → tid within current session
-	nextTID  int
-	nextSpan uint64
+	session   int // current Perfetto pid; 0 before BeginSession
+	boards    map[string]*boardState
+	boardList []*boardState // registration order, for deterministic output
+	nextTID   int
+	nextSpan  uint64
+	spanFree  []*Span // recycled ring evictions
+
+	slo        *sloTracker
+	flight     *flightRing
+	flightSnap *flightSnapshot
+
+	nodeRes    [numResources]resVals
+	nodeResOn  [numResources]bool
+	nodeGauges [numResources]resGauges
+
+	stageSamples [NumStages]sim.Sample
+	stageHists   [NumStages]*Metric
+	stageP50     [NumStages]*Metric
+	stageP95     [NumStages]*Metric
+	stageP99     [NumStages]*Metric
 
 	// cached hot-path series
-	cOK, cViolation, cWarmup, cPlanErr *Metric
-	cCacheHit, cCacheMiss, cSwaps      *Metric
-	hLatency, hAdmitWait               *Metric
-	gPower, gInflightSpans             *Metric
-	cDropped                           *Metric
+	cOK, cViolation, cWarmup, cDroppedReq, cShed *Metric
+	cPlanErr                                     *Metric
+	cCacheHit, cCacheMiss, cSwaps                *Metric
+	hLatency, hAdmitWait                         *Metric
+	gPower, gInflightSpans                       *Metric
+	cDropped                                     *Metric
+	cBatchFull, cBatchMaxwait, cBatchDisband     *Metric
+	hBatchSize, hBatchHold                       *Metric
+	gBurnShort, gBurnLong                        *Metric
+	gVioShort, gVioLong                          *Metric
+	gBurnAlert, cBurnTrips                       *Metric
+}
+
+// fixedIDs caches the strtab ids of every constant event string, so
+// hot-path emission is pure field assembly — no map probes for names
+// that never change.
+type fixedIDs struct {
+	processName, threadName int32
+	governor, requests      int32
+	violation, planError    int32
+	shed, power, dvfs       int32
+	reconfig, admit         int32
+	sloBurn, flightTrigger  int32
+	trip, flightProcess     int32
+	modeFG, modeBG          int32
 }
 
 // New returns a Recorder with default options.
@@ -111,37 +254,87 @@ func New() *Recorder { return NewWithOptions(Options{}) }
 
 // NewWithOptions returns a Recorder with explicit bounds.
 func NewWithOptions(o Options) *Recorder {
-	if o.SpanRingCap <= 0 {
-		o.SpanRingCap = 1024
-	}
-	if o.TraceEventCap <= 0 {
-		o.TraceEventCap = 1 << 20
-	}
+	o.withDefaults()
 	r := &Recorder{
-		reg:    NewRegistry(),
 		spans:  NewSpanRing(o.SpanRingCap),
-		trace:  newTraceBuf(o.TraceEventCap),
-		boards: make(map[string]int),
+		boards: make(map[string]*boardState),
+		opts:   o,
+		slo: newSLOTracker(o.SLOTarget, o.SLOShortWindowMS, o.SLOLongWindowMS,
+			o.SLOBurnThreshold),
+	}
+	r.reg = newSharedRegistry(&r.mu)
+	r.tab = newStrtab()
+	r.in = fixedIDs{
+		processName:   r.tab.id("process_name"),
+		threadName:    r.tab.id("thread_name"),
+		governor:      r.tab.id("governor"),
+		requests:      r.tab.id("requests"),
+		violation:     r.tab.id("violation"),
+		planError:     r.tab.id("plan_error"),
+		shed:          r.tab.id("shed"),
+		power:         r.tab.id("power"),
+		dvfs:          r.tab.id("dvfs"),
+		reconfig:      r.tab.id("reconfig"),
+		admit:         r.tab.id("admit"),
+		sloBurn:       r.tab.id("slo_burn"),
+		flightTrigger: r.tab.id("flight_trigger"),
+		trip:          r.tab.id("trip"),
+		flightProcess: r.tab.id("flight recorder"),
+		modeFG:        r.tab.id(modeForeground),
+		modeBG:        r.tab.id(modeBackground),
+	}
+	if !o.MetricsOnly {
+		r.trace = newTraceBuf(o.TraceEventCap)
+		r.flight = newFlightRing(o.FlightRingCap)
 	}
 	r.cOK = r.reg.Counter("poly_requests_total", "Finished requests by outcome.", "outcome", "ok")
 	r.cViolation = r.reg.Counter("poly_requests_total", "", "outcome", "violation")
 	r.cWarmup = r.reg.Counter("poly_requests_total", "", "outcome", "warmup")
+	r.cDroppedReq = r.reg.Counter("poly_requests_total", "", "outcome", "dropped")
+	r.cShed = r.reg.Counter("poly_requests_total", "", "outcome", "shed")
 	r.cPlanErr = r.reg.Counter("poly_plan_errors_total", "Requests dropped because planning failed.")
 	r.cCacheHit = r.reg.Counter("poly_plan_cache_hits_total", "Plans served from the plan cache.")
 	r.cCacheMiss = r.reg.Counter("poly_plan_cache_misses_total", "Plans computed cold.")
 	r.cSwaps = r.reg.Counter("poly_energy_swaps_total", "Step-2 energy implementation swaps across plans.")
 	r.hLatency = r.reg.Histogram("poly_request_latency_ms", "End-to-end request latency (post-warmup).")
 	r.hAdmitWait = r.reg.Histogram("poly_admit_wait_ms", "Admission to first kernel start.")
+	for i := 0; i < NumStages; i++ {
+		r.stageHists[i] = r.reg.Histogram("poly_stage_latency_ms",
+			"Per-stage request latency breakdown (stages sum to end-to-end latency).",
+			"stage", StageNames[i])
+	}
+	for i := 0; i < NumStages; i++ {
+		r.stageP50[i] = r.reg.Gauge("poly_stage_latency_pctl_ms",
+			"Exact per-stage latency percentiles over the measured population.",
+			"stage", StageNames[i], "q", "p50")
+		r.stageP95[i] = r.reg.Gauge("poly_stage_latency_pctl_ms", "",
+			"stage", StageNames[i], "q", "p95")
+		r.stageP99[i] = r.reg.Gauge("poly_stage_latency_pctl_ms", "",
+			"stage", StageNames[i], "q", "p99")
+	}
 	r.gPower = r.reg.Gauge("poly_power_watts", "Node accelerator power at the last sample.")
 	r.gInflightSpans = r.reg.Gauge("poly_spans_inflight", "Spans started but not finished.")
 	r.cDropped = r.reg.Counter("poly_trace_events_dropped_total", "Trace events over the buffer cap.")
+	r.cBatchFull = r.reg.Counter("poly_batch_groups_total", "Admission-batch groups by flush reason.", "reason", "full")
+	r.cBatchMaxwait = r.reg.Counter("poly_batch_groups_total", "", "reason", "maxwait")
+	r.cBatchDisband = r.reg.Counter("poly_batch_groups_total", "", "reason", "disband")
+	r.hBatchSize = r.reg.Histogram("poly_batch_size", "Admission-batch group sizes.")
+	r.hBatchHold = r.reg.Histogram("poly_batch_hold_ms", "Mean staging hold per admission-batch group.")
+	r.gBurnShort = r.reg.Gauge("poly_slo_burn_rate", "QoS-violation burn rate (violation ratio over target) per sliding window.", "window", "short")
+	r.gBurnLong = r.reg.Gauge("poly_slo_burn_rate", "", "window", "long")
+	r.gVioShort = r.reg.Gauge("poly_slo_violation_ratio", "QoS-violation ratio per sliding window.", "window", "short")
+	r.gVioLong = r.reg.Gauge("poly_slo_violation_ratio", "", "window", "long")
+	r.gBurnAlert = r.reg.Gauge("poly_slo_burn_alert", "1 while both burn-rate windows exceed the trip threshold.")
+	r.cBurnTrips = r.reg.Counter("poly_slo_burn_trips_total", "Burn-rate alert activations.")
 	return r
 }
 
 // Registry exposes the metric registry (for exporters and tests).
 func (r *Recorder) Registry() *Registry { return r.reg }
 
-// Spans returns the retained finished spans, oldest first.
+// Spans returns the retained finished spans, oldest first. The snapshot
+// aliases live ring entries: it is only valid until enough newer
+// requests finish to wrap the ring and recycle its spans.
 func (r *Recorder) Spans() []*Span {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -160,14 +353,65 @@ func (r *Recorder) BeginSession(label string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.session++
+	if r.opts.MetricsOnly {
+		// Sessions may run concurrently against one recorder here; board
+		// state persists (same names resolve to the same series) and no
+		// per-session tracks exist.
+		return
+	}
 	r.nextTID = tidFirstBoard
 	clear(r.boards)
-	r.trace.add(TraceEvent{Name: "process_name", Phase: "M", PID: r.session,
-		Args: map[string]any{"name": label}})
-	r.trace.add(TraceEvent{Name: "thread_name", Phase: "M", PID: r.session, TID: tidGovernor,
-		Args: map[string]any{"name": "governor"}})
-	r.trace.add(TraceEvent{Name: "thread_name", Phase: "M", PID: r.session, TID: tidRequests,
-		Args: map[string]any{"name": "requests"}})
+	r.boardList = r.boardList[:0]
+	// A new session restarts the simulated clock; burn-rate windows and
+	// stage-percentile populations from the previous timeline must not
+	// bleed into it. (MetricsOnly mode never resets: concurrent sessions
+	// there share one recorder, and the SLO windows assume whatever
+	// coherent clock the caller provides.)
+	r.slo.reset()
+	for i := range r.stageSamples {
+		r.stageSamples[i].Reset()
+	}
+	r.trace.add(traceEv{kind: evMetaProcess, name: r.in.processName, pid: int32(r.session), s1: r.tab.id(label)})
+	r.trace.add(traceEv{kind: evMetaThread, name: r.in.threadName, pid: int32(r.session), tid: tidGovernor, s1: r.in.governor})
+	r.trace.add(traceEv{kind: evMetaThread, name: r.in.threadName, pid: int32(r.session), tid: tidRequests, s1: r.in.requests})
+}
+
+// ensureBoardLocked resolves (or creates) a board's cached state.
+func (r *Recorder) ensureBoardLocked(name, class string) *boardState {
+	if bs, ok := r.boards[name]; ok {
+		if bs.class == "" && class != "" {
+			bs.class = class
+			bs.label = r.tab.id(name + " (" + class + ")")
+		}
+		return bs
+	}
+	tid := r.nextTID
+	if tid < tidFirstBoard {
+		tid = tidFirstBoard
+	}
+	r.nextTID = tid + 1
+	bs := &boardState{name: name, class: class, tid: int32(tid),
+		label: r.tab.id(name + " (" + class + ")"),
+		execs: make(map[string]*Metric)}
+	bs.launches = r.reg.getLocked("poly_device_launches_total", "Physical launches per board.",
+		kindCounter, Labels{"device", name})
+	bs.busyMS = r.reg.getLocked("poly_device_busy_ms_total", "Execution-busy milliseconds per board.",
+		kindCounter, Labels{"device", name})
+	bs.queueHist = r.reg.getLocked("poly_kernel_queue_ms", "Per-kernel device queue wait.",
+		kindHistogram, Labels{"device", name})
+	bs.serviceHist = r.reg.getLocked("poly_kernel_service_ms", "Per-kernel execution span.",
+		kindHistogram, Labels{"device", name})
+	bs.dvfs = r.reg.getLocked("poly_device_dvfs_level", "Current GPU DVFS ladder index.",
+		kindGauge, Labels{"device", name})
+	r.boards[name] = bs
+	r.boardList = append(r.boardList, bs)
+	return bs
+}
+
+// boardLocked is ensureBoardLocked for event paths that may see a board
+// the runtime never registered.
+func (r *Recorder) boardLocked(name string) *boardState {
+	return r.ensureBoardLocked(name, "")
 }
 
 // RegisterBoard implements Sink.
@@ -177,206 +421,269 @@ func (r *Recorder) RegisterBoard(name, class string) {
 	if r.session == 0 {
 		r.session = 1 // boards registered without an explicit session
 	}
-	if _, ok := r.boards[name]; ok {
+	known := r.boards[name] != nil
+	bs := r.ensureBoardLocked(name, class)
+	if class == "FPGA" && bs.reconfigFG == nil {
+		bs.reconfigFG = r.reg.getLocked("poly_device_reconfigs_total", "FPGA bitstream loads per board.",
+			kindCounter, Labels{"device", name, "mode", "foreground"})
+		bs.reconfigBG = r.reg.getLocked("poly_device_reconfigs_total", "",
+			kindCounter, Labels{"device", name, "mode", "background"})
+		bs.reconfigStall = r.reg.getLocked("poly_device_reconfig_stall_ms_total",
+			"Milliseconds boards spent reconfiguring.", kindCounter, Labels{"device", name})
+	}
+	if known || r.opts.MetricsOnly {
 		return
 	}
-	tid := r.nextTID
-	if tid < tidFirstBoard {
-		tid = tidFirstBoard
-	}
-	r.nextTID = tid + 1
-	r.boards[name] = tid
-	r.trace.add(TraceEvent{Name: "thread_name", Phase: "M", PID: r.session, TID: tid,
-		Args: map[string]any{"name": name + " (" + class + ")"}})
-	r.reg.Gauge("poly_device_dvfs_level", "Current GPU DVFS ladder index.", "device", name)
-}
-
-// boardTID resolves a board's track, registering lazily if needed.
-// Callers hold r.mu.
-func (r *Recorder) boardTID(name string) int {
-	tid, ok := r.boards[name]
-	if !ok {
-		tid = r.nextTID
-		if tid < tidFirstBoard {
-			tid = tidFirstBoard
-		}
-		r.nextTID = tid + 1
-		r.boards[name] = tid
-	}
-	return tid
+	r.trace.add(traceEv{kind: evMetaThread, name: r.in.threadName, pid: int32(r.session),
+		tid: bs.tid, s1: bs.label})
 }
 
 // us converts simulated milliseconds to trace microseconds.
 func us(t sim.Time) float64 { return float64(t) * 1000 }
 
+// emitLocked appends a compact event to the trace buffer and the flight
+// ring. Callers hold r.mu.
+func (r *Recorder) emitLocked(e traceEv) {
+	if r.trace == nil {
+		return
+	}
+	r.trace.add(e)
+	r.flight.add(e)
+}
+
 // StartSpan implements Sink.
 func (r *Recorder) StartSpan(at sim.Time, boundMS float64) *Span {
 	r.mu.Lock()
 	r.nextSpan++
-	id := r.nextSpan
+	var sp *Span
+	if n := len(r.spanFree); n > 0 {
+		sp = r.spanFree[n-1]
+		r.spanFree = r.spanFree[:n-1]
+		sp.reset(r.nextSpan, float64(at), boundMS)
+	} else {
+		sp = &Span{ID: r.nextSpan, ArrivedMS: float64(at), BoundMS: boundMS}
+	}
+	r.gInflightSpans.val++
+	if r.flight != nil {
+		// Admissions are flight-only: too hot for the main trace buffer,
+		// exactly what a post-incident dump needs.
+		r.flight.add(traceEv{kind: evAdmit, name: r.in.admit, ts: us(at),
+			pid: int32(r.session), tid: tidRequests, i1: int64(sp.ID), f1: boundMS})
+	}
 	r.mu.Unlock()
-	r.gInflightSpans.Add(1)
-	return &Span{ID: id, ArrivedMS: float64(at), BoundMS: boundMS}
+	return sp
 }
 
 // FinishSpan implements Sink.
 func (r *Recorder) FinishSpan(sp *Span, at sim.Time) {
-	r.gInflightSpans.Add(-1)
+	if !sp.Dropped {
+		sp.ComputeStages()
+	}
+	r.mu.Lock()
+	r.gInflightSpans.val--
 	switch {
 	case sp.Dropped:
-		r.reg.Counter("poly_requests_total", "", "outcome", "dropped").Inc()
+		r.cDroppedReq.incLocked()
 	case !sp.Measured:
-		r.cWarmup.Inc()
+		r.cWarmup.incLocked()
 	case sp.Violation:
-		r.cViolation.Inc()
+		r.cViolation.incLocked()
 	default:
-		r.cOK.Inc()
+		r.cOK.incLocked()
 	}
 	if sp.Measured {
-		r.hLatency.Observe(sp.LatencyMS)
-		r.hAdmitWait.Observe(sp.AdmitWaitMS())
+		r.hLatency.observeLocked(sp.LatencyMS)
+		r.hAdmitWait.observeLocked(sp.AdmitWaitMS())
+		for i := 0; i < NumStages; i++ {
+			v := sp.Stages.Get(i)
+			r.stageHists[i].observeLocked(v)
+			r.stageSamples[i].Add(v)
+		}
 	}
 	if !sp.Dropped {
 		for _, k := range sp.Kernels {
-			r.reg.Histogram("poly_kernel_queue_ms", "Per-kernel device queue wait.", "device", k.Device).Observe(k.QueueMS())
-			r.reg.Histogram("poly_kernel_service_ms", "Per-kernel execution span.", "device", k.Device).Observe(k.ServiceMS())
-			r.reg.Counter("poly_kernel_execs_total", "Kernel executions by placement.",
-				"device", k.Device, "kernel", k.Kernel).Inc()
+			if k.EndMS <= k.StartMS {
+				continue // failed attempt; its retry record carries the stats
+			}
+			bs := r.boardLocked(k.Device)
+			bs.queueHist.observeLocked(k.QueueMS())
+			bs.serviceHist.observeLocked(k.ServiceMS())
+			c := bs.execs[k.Kernel]
+			if c == nil {
+				c = r.reg.getLocked("poly_kernel_execs_total", "Kernel executions by placement.",
+					kindCounter, Labels{"device", k.Device, "kernel", k.Kernel})
+				bs.execs[k.Kernel] = c
+			}
+			c.incLocked()
 		}
 	}
-	r.mu.Lock()
-	r.spans.Push(sp)
+	if sp.Measured {
+		if trip, short, long := r.slo.observe(float64(at), sp.Violation); trip {
+			r.cBurnTrips.incLocked()
+			r.emitLocked(traceEv{kind: evSLOBurn, name: r.in.sloBurn, ts: us(at),
+				pid: int32(r.session), tid: tidGovernor, f1: short, f2: long, s1: r.in.trip})
+		}
+	}
 	if sp.Violation {
-		r.trace.add(TraceEvent{Name: "violation", Cat: "violation", Phase: "i", Scope: "t",
-			TS: us(at), PID: r.session, TID: tidRequests,
-			Args: map[string]any{"latency_ms": sp.LatencyMS, "bound_ms": sp.BoundMS, "span": sp.ID}})
+		r.emitLocked(traceEv{kind: evViolation, name: r.in.violation, ts: us(at),
+			pid: int32(r.session), tid: tidRequests,
+			f1: sp.LatencyMS, f2: sp.BoundMS, i1: int64(sp.ID)})
+		if sp.Measured {
+			r.flightTripLocked("violation", at)
+		}
+	}
+	if old := r.spans.PushEvict(sp); old != nil {
+		r.spanFree = append(r.spanFree, old)
 	}
 	r.mu.Unlock()
 }
 
 // PlanError implements Sink.
 func (r *Recorder) PlanError(at sim.Time) {
-	r.cPlanErr.Inc()
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "plan_error", Cat: "violation", Phase: "i", Scope: "t",
-		TS: us(at), PID: r.session, TID: tidRequests})
+	r.cPlanErr.incLocked()
+	r.emitLocked(traceEv{kind: evPlanError, name: r.in.planError, ts: us(at),
+		pid: int32(r.session), tid: tidRequests})
 	r.mu.Unlock()
 }
 
 // PlanUpdate implements Sink.
 func (r *Recorder) PlanUpdate(cacheHit bool, energySwaps int) {
+	r.mu.Lock()
 	if cacheHit {
-		r.cCacheHit.Inc()
+		r.cCacheHit.incLocked()
 	} else {
-		r.cCacheMiss.Inc()
+		r.cCacheMiss.incLocked()
 	}
 	if energySwaps > 0 {
-		r.cSwaps.Add(float64(energySwaps))
+		r.cSwaps.addLocked(float64(energySwaps))
 	}
+	r.mu.Unlock()
 }
 
 // BatchFlush implements Sink.
 func (r *Recorder) BatchFlush(at sim.Time, size int, holdMS float64, reason string) {
-	r.reg.Counter("poly_batch_groups_total", "Admission-batch groups by flush reason.",
-		"reason", reason).Inc()
-	r.reg.Histogram("poly_batch_size", "Admission-batch group sizes.").Observe(float64(size))
-	r.reg.Histogram("poly_batch_hold_ms", "Mean staging hold per admission-batch group.").Observe(holdMS)
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "batch:" + reason, Cat: "batch", Phase: "i", Scope: "t",
-		TS: us(at), PID: r.session, TID: tidRequests,
-		Args: map[string]any{"size": size, "hold_ms": holdMS}})
+	switch reason {
+	case "full":
+		r.cBatchFull.incLocked()
+	case "maxwait":
+		r.cBatchMaxwait.incLocked()
+	case "disband":
+		r.cBatchDisband.incLocked()
+	default:
+		r.reg.getLocked("poly_batch_groups_total", "", kindCounter,
+			Labels{"reason", reason}).incLocked()
+	}
+	r.hBatchSize.observeLocked(float64(size))
+	r.hBatchHold.observeLocked(holdMS)
+	r.emitLocked(traceEv{kind: evBatch, name: r.tab.id(batchEventName(reason)), ts: us(at),
+		pid: int32(r.session), tid: tidRequests, i1: int64(size), f1: holdMS})
 	r.mu.Unlock()
 }
 
 // RequestShed implements Sink.
 func (r *Recorder) RequestShed(at sim.Time) {
-	r.reg.Counter("poly_requests_total", "", "outcome", "shed").Inc()
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "shed", Cat: "fault", Phase: "i", Scope: "t",
-		TS: us(at), PID: r.session, TID: tidRequests})
+	r.cShed.incLocked()
+	r.emitLocked(traceEv{kind: evShed, name: r.in.shed, ts: us(at),
+		pid: int32(r.session), tid: tidRequests})
 	r.mu.Unlock()
 }
 
 // TaskRetry implements Sink.
 func (r *Recorder) TaskRetry(device, kernel string, at sim.Time) {
-	r.reg.Counter("poly_task_retries_total", "Kernel retries after device task failures.",
-		"device", device).Inc()
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "retry:" + kernel, Cat: "fault", Phase: "i", Scope: "t",
-		TS: us(at), PID: r.session, TID: r.boardTID(device),
-		Args: map[string]any{"kernel": kernel}})
+	bs := r.boardLocked(device)
+	r.reg.getLocked("poly_task_retries_total", "Kernel retries after device task failures.",
+		kindCounter, Labels{"device", device}).incLocked()
+	r.emitLocked(traceEv{kind: evRetry, name: r.tab.id("retry:" + kernel), ts: us(at),
+		pid: int32(r.session), tid: bs.tid, s1: r.tab.id(kernel)})
 	r.mu.Unlock()
 }
 
 // BoardHealthChanged implements Sink.
 func (r *Recorder) BoardHealthChanged(device, from, to string, at sim.Time) {
-	r.reg.Counter("poly_board_health_transitions_total", "Board health-state transitions.",
-		"device", device, "to", to).Inc()
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "health:" + to, Cat: "fault", Phase: "i", Scope: "t",
-		TS: us(at), PID: r.session, TID: r.boardTID(device),
-		Args: map[string]any{"from": from, "to": to}})
+	bs := r.boardLocked(device)
+	r.reg.getLocked("poly_board_health_transitions_total", "Board health-state transitions.",
+		kindCounter, Labels{"device", device, "to", to}).incLocked()
+	r.emitLocked(traceEv{kind: evHealth, name: r.tab.id(healthEventName(to)), ts: us(at),
+		pid: int32(r.session), tid: bs.tid, s1: r.tab.id(from), s2: r.tab.id(to)})
+	if to == "down" {
+		r.flightTripLocked("board_down", at)
+	}
 	r.mu.Unlock()
 }
 
 // GovernorTransition implements Sink.
 func (r *Recorder) GovernorTransition(at sim.Time, from, to, cause string) {
-	r.reg.Counter("poly_governor_transitions_total", "Governor mode changes by cause.",
-		"from", from, "to", to, "cause", cause).Inc()
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "governor:" + to, Cat: "governor", Phase: "i", Scope: "p",
-		TS: us(at), PID: r.session, TID: tidGovernor,
-		Args: map[string]any{"from": from, "to": to, "cause": cause}})
+	r.reg.getLocked("poly_governor_transitions_total", "Governor mode changes by cause.",
+		kindCounter, Labels{"from", from, "to", to, "cause", cause}).incLocked()
+	r.emitLocked(traceEv{kind: evGovernor, name: r.tab.id(governorEventName(to)), ts: us(at),
+		pid: int32(r.session), tid: tidGovernor,
+		s1: r.tab.id(from), s2: r.tab.id(to), s3: r.tab.id(cause)})
 	r.mu.Unlock()
 }
 
 // PowerSample implements Sink.
 func (r *Recorder) PowerSample(at sim.Time, watts float64) {
-	r.gPower.Set(watts)
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "power", Cat: "power", Phase: "C",
-		TS: us(at), PID: r.session, TID: tidGovernor,
-		Args: map[string]any{"watts": watts}})
+	r.gPower.setLocked(watts)
+	r.emitLocked(traceEv{kind: evPower, name: r.in.power, ts: us(at),
+		pid: int32(r.session), tid: tidGovernor, f1: watts})
 	r.mu.Unlock()
 }
 
 // Launched implements Sink (the device.Observer subset).
 func (r *Recorder) Launched(device, kernel, implID string, batch int, start, end sim.Time) {
-	r.reg.Counter("poly_device_launches_total", "Physical launches per board.", "device", device).Inc()
-	r.reg.Counter("poly_device_busy_ms_total", "Execution-busy milliseconds per board.", "device", device).
-		Add(float64(end - start))
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: kernel, Cat: "kernel", Phase: "X",
-		TS: us(start), Dur: us(end - start), PID: r.session, TID: r.boardTID(device),
-		Args: map[string]any{"impl": implID, "batch": batch}})
+	bs := r.boardLocked(device)
+	bs.launches.incLocked()
+	bs.busyMS.addLocked(float64(end - start))
+	r.emitLocked(traceEv{kind: evKernel, name: r.tab.id(kernel), s1: r.tab.id(implID),
+		i1: int64(batch), ts: us(start), dur: us(end - start), pid: int32(r.session), tid: bs.tid})
 	r.mu.Unlock()
 }
 
+const (
+	modeForeground = "foreground"
+	modeBackground = "background"
+)
+
 // ReconfigStart implements Sink (the device.Observer subset).
 func (r *Recorder) ReconfigStart(device, implID string, at sim.Time, stallMS float64, background bool) {
-	mode := "foreground"
-	if background {
-		mode = "background"
-	}
-	r.reg.Counter("poly_device_reconfigs_total", "FPGA bitstream loads per board.",
-		"device", device, "mode", mode).Inc()
-	r.reg.Counter("poly_device_reconfig_stall_ms_total", "Milliseconds boards spent reconfiguring.",
-		"device", device).Add(stallMS)
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "reconfig", Cat: "reconfig", Phase: "X",
-		TS: us(at), Dur: stallMS * 1000, PID: r.session, TID: r.boardTID(device),
-		Args: map[string]any{"impl": implID, "mode": mode}})
+	bs := r.boardLocked(device)
+	if bs.reconfigFG == nil {
+		bs.reconfigFG = r.reg.getLocked("poly_device_reconfigs_total", "FPGA bitstream loads per board.",
+			kindCounter, Labels{"device", device, "mode", modeForeground})
+		bs.reconfigBG = r.reg.getLocked("poly_device_reconfigs_total", "",
+			kindCounter, Labels{"device", device, "mode", modeBackground})
+		bs.reconfigStall = r.reg.getLocked("poly_device_reconfig_stall_ms_total",
+			"Milliseconds boards spent reconfiguring.", kindCounter, Labels{"device", device})
+	}
+	mode := r.in.modeFG
+	if background {
+		mode = r.in.modeBG
+		bs.reconfigBG.incLocked()
+	} else {
+		bs.reconfigFG.incLocked()
+	}
+	bs.reconfigStall.addLocked(stallMS)
+	r.emitLocked(traceEv{kind: evReconfig, name: r.in.reconfig, ts: us(at), dur: stallMS * 1000,
+		pid: int32(r.session), tid: bs.tid, s1: r.tab.id(implID), s2: mode})
 	r.mu.Unlock()
 }
 
 // DVFSChanged implements Sink (the device.Observer subset).
 func (r *Recorder) DVFSChanged(device string, level int, at sim.Time) {
-	r.reg.Gauge("poly_device_dvfs_level", "Current GPU DVFS ladder index.", "device", device).
-		Set(float64(level))
 	r.mu.Lock()
-	r.trace.add(TraceEvent{Name: "dvfs", Cat: "dvfs", Phase: "i", Scope: "t",
-		TS: us(at), PID: r.session, TID: r.boardTID(device),
-		Args: map[string]any{"level": level}})
+	bs := r.boardLocked(device)
+	bs.dvfs.setLocked(float64(level))
+	r.emitLocked(traceEv{kind: evDVFS, name: r.in.dvfs, ts: us(at),
+		pid: int32(r.session), tid: bs.tid, i1: int64(level)})
 	r.mu.Unlock()
 }
 
@@ -384,6 +691,9 @@ func (r *Recorder) DVFSChanged(device string, level int, at sim.Time) {
 func (r *Recorder) TraceDropped() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.trace == nil {
+		return 0
+	}
 	return r.trace.dropped
 }
 
@@ -391,7 +701,10 @@ func (r *Recorder) TraceDropped() int {
 func (r *Recorder) TraceEventCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.trace.events)
+	if r.trace == nil {
+		return 0
+	}
+	return r.trace.n
 }
 
 // WriteTrace renders the buffered timeline as Chrome trace-event JSON
@@ -399,16 +712,52 @@ func (r *Recorder) TraceEventCount() int {
 func (r *Recorder) WriteTrace(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if d := r.trace.dropped; d > 0 {
-		r.cDropped.Set(float64(d))
+	if r.trace == nil {
+		return writeTraceEvents(w, r.tab)
 	}
-	return r.trace.writeTrace(w)
+	if d := r.trace.dropped; d > 0 {
+		r.cDropped.setLocked(float64(d))
+	}
+	return r.trace.writeTrace(w, r.tab)
+}
+
+// syncDerivedLocked refreshes every scrape-time series: resource
+// utilization gauges, stage percentile gauges, SLO burn gauges, and the
+// trace-drop counter. Doing this once per scrape keeps the per-event
+// recording path flat.
+func (r *Recorder) syncDerivedLocked() {
+	r.syncResourcesLocked()
+	for i := 0; i < NumStages; i++ {
+		s := &r.stageSamples[i]
+		if s.Count() == 0 {
+			continue
+		}
+		r.stageP50[i].setLocked(s.Percentile(50))
+		r.stageP95[i].setLocked(s.Percentile(95))
+		r.stageP99[i].setLocked(s.Percentile(99))
+	}
+	shortBurn, longBurn, shortVio, longVio := r.slo.rates()
+	r.gBurnShort.setLocked(shortBurn)
+	r.gBurnLong.setLocked(longBurn)
+	r.gVioShort.setLocked(shortVio)
+	r.gVioLong.setLocked(longVio)
+	if r.slo.alerting {
+		r.gBurnAlert.setLocked(1)
+	} else {
+		r.gBurnAlert.setLocked(0)
+	}
+	if r.trace != nil && r.trace.dropped > 0 {
+		r.cDropped.setLocked(float64(r.trace.dropped))
+	}
 }
 
 // WritePrometheus renders the metric registry in the Prometheus text
-// exposition format.
+// exposition format, refreshing derived gauges first.
 func (r *Recorder) WritePrometheus(w io.Writer) error {
-	return r.reg.WritePrometheus(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syncDerivedLocked()
+	return r.reg.writeLocked(w)
 }
 
 // MetricsHandler serves WritePrometheus over HTTP — mount it at /metrics
