@@ -6,6 +6,7 @@
 //	polysim -app ASR -arch heter -rps 50 -duration 20s
 //	polysim -app FQT -arch gpu -trace          # 24 h trace replay (compressed)
 //	polysim -app ASR -arch heter -rps 120 -batch-wait 4   # admission batching on
+//	polysim -app ASR -nodes 4 -rps 160         # 4-node fleet behind the router
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"poly"
 	"poly/internal/fault"
+	"poly/internal/fleet"
 	"poly/internal/prof"
 	"poly/internal/runtime"
 	"poly/internal/sim"
@@ -41,6 +43,8 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault scenario seed (same seed, same fault plan)")
 	batchWait := flag.Float64("batch-wait", 0, "admission-batch staging max wait in ms (0 = batching off)")
 	batchCap := flag.Int("batch", 0, "admission-batch group size cap (0 = planner's widest GPU batch; needs -batch-wait)")
+	nodes := flag.Int("nodes", 1, "fleet size: shard the cluster into N nodes behind the router (1 = direct single-node path)")
+	fleetPolicy := flag.String("fleet-policy", "binpack", "fleet routing policy: binpack, spread, or least-util (needs -nodes > 1)")
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -48,7 +52,7 @@ func main() {
 	}
 	defer stopProf()
 	var rec *telemetry.Recorder
-	if *useTelemetry || *traceOut != "" || *flightOut != "" {
+	if *nodes <= 1 && (*useTelemetry || *traceOut != "" || *flightOut != "") {
 		rec = telemetry.New()
 		prof.Handle("/metrics", rec.MetricsHandler())
 		if *pprofAddr != "" {
@@ -86,6 +90,19 @@ func main() {
 	if faultCfg.Enabled() {
 		faultsOpt = &faultCfg
 	}
+	if *nodes > 1 {
+		serveFleet(bench, fleetConfig{
+			nodes: *nodes, policyName: *fleetPolicy,
+			app: *app, setting: st.Name,
+			rps: *rps, durationMS: float64(duration.Milliseconds()),
+			seed: *seed, useTrace: *useTrace,
+			telemetry: *useTelemetry, pprofAddr: *pprofAddr,
+			traceOut: *traceOut, flightOut: *flightOut,
+			opts: runtime.Options{Faults: faultsOpt, BatchWaitMS: *batchWait, BatchCap: *batchCap},
+		})
+		return
+	}
+
 	var res poly.Result
 	var inj *fault.Injector
 	if *useTrace {
@@ -146,6 +163,71 @@ func main() {
 				*flightOut)
 		}
 	}
+}
+
+// fleetConfig carries the CLI surface of the multi-node path.
+type fleetConfig struct {
+	nodes      int
+	policyName string
+	app        string
+	setting    string
+	rps        float64
+	durationMS float64
+	seed       int64
+	useTrace   bool
+	telemetry  bool
+	pprofAddr  string
+	traceOut   string
+	flightOut  string
+	opts       runtime.Options
+}
+
+// serveFleet is the -nodes N path: the same workload drivers as the
+// single-node path, but arrivals go through the fleet router and the
+// report covers every shard plus the aggregate.
+func serveFleet(bench poly.Bench, cfg fleetConfig) {
+	if cfg.traceOut != "" || cfg.flightOut != "" {
+		fail(fmt.Errorf("-trace-out/-flight-out record one session; use -nodes 1"))
+	}
+	pol, err := fleet.ParsePolicy(cfg.policyName)
+	if err != nil {
+		fail(err)
+	}
+	ropts := cfg.opts
+	if cfg.useTrace {
+		ropts.WarmupMS = 5_000
+	} else {
+		ropts.WarmupMS = 0.2 * cfg.durationMS
+		if ropts.WarmupMS > 5000 {
+			ropts.WarmupMS = 5000
+		}
+	}
+	f, err := fleet.New(bench, fleet.Options{
+		Nodes: cfg.nodes, Policy: pol, Runtime: ropts, WithTelemetry: cfg.telemetry,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if cfg.telemetry {
+		prof.Handle("/metrics", f.Rollup().MetricsHandler())
+		if cfg.pprofAddr != "" {
+			fmt.Printf("telemetry: http://%s/metrics (fleet rollup, Prometheus text)\n", cfg.pprofAddr)
+		}
+	}
+	w := runtime.NewWorkload(cfg.seed)
+	if cfg.useTrace {
+		tr := poly.SynthesizeTrace(cfg.seed)
+		const compressedMS = 600_000.0
+		compress := tr.DurationMS() / compressedMS
+		w.InjectRate(f, func(at sim.Time) float64 {
+			return cfg.rps * tr.At(float64(at)*compress)
+		}, compressedMS, 5_000)
+	} else {
+		w.InjectPoisson(f, cfg.rps, 0, sim.Time(cfg.durationMS))
+	}
+	res := f.Collect()
+	fmt.Printf("%s on %d-node %s fleet (%s):\n", cfg.app, cfg.nodes, bench.Arch, cfg.setting)
+	fmt.Println(indent(res.String(), "  "))
 }
 
 func writeFlightFile(rec *telemetry.Recorder, path string) error {

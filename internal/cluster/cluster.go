@@ -122,12 +122,21 @@ type Node struct {
 
 // Build instantiates the node's boards on a simulator.
 func Build(s *sim.Simulator, plan Plan) *Node {
+	return BuildNamed(s, plan, "")
+}
+
+// BuildNamed is Build with every board name prefixed — how a multi-node
+// fleet assembles N shards on one shared simulator without board-name
+// collisions (shard i's boards become "n<i>/gpu0", "n<i>/fpga3", ...).
+// An empty prefix reproduces Build exactly, so a 1-node fleet keeps the
+// single-node board names and, with them, bit-identical plan-cache keys.
+func BuildNamed(s *sim.Simulator, plan Plan, prefix string) *Node {
 	n := &Node{Plan: plan, Sim: s, PCIe: device.DefaultPCIe}
 	for i := 0; i < plan.NumGPU; i++ {
-		n.GPUs = append(n.GPUs, device.NewGPU(s, fmt.Sprintf("gpu%d", i), plan.Setting.GPU))
+		n.GPUs = append(n.GPUs, device.NewGPU(s, fmt.Sprintf("%sgpu%d", prefix, i), plan.Setting.GPU))
 	}
 	for i := 0; i < plan.NumFPGA; i++ {
-		n.FPGAs = append(n.FPGAs, device.NewFPGA(s, fmt.Sprintf("fpga%d", i), plan.Setting.FPGA))
+		n.FPGAs = append(n.FPGAs, device.NewFPGA(s, fmt.Sprintf("%sfpga%d", prefix, i), plan.Setting.FPGA))
 	}
 	return n
 }

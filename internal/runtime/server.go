@@ -353,6 +353,10 @@ func (sv *Server) setGovernorMode(to, cause string) {
 // Bound returns the effective latency bound.
 func (sv *Server) Bound() float64 { return sv.opts.BoundMS }
 
+// InFlight returns the number of admitted, unfinished requests — a
+// routing signal the fleet's placement policies read.
+func (sv *Server) InFlight() int { return sv.inFlight }
+
 // deviceStates snapshots the node for the scheduler (Eq. 4 inputs).
 // The returned slice is scratch reused across admits.
 func (sv *Server) deviceStates() []sched.DeviceState {
@@ -407,6 +411,36 @@ func (sv *Server) deviceStates() []sched.DeviceState {
 func (sv *Server) Inject(at sim.Time) {
 	sv.pendingArrivals++
 	sv.sim.AtCall(at, fireAdmit, sv)
+}
+
+// RouteArrival admits one arrival at the current simulator instant — the
+// fleet router's handoff point. It is Inject(now) with the event already
+// fired: the router's own arrival event picked this shard, so the admit
+// path runs inline. Equivalent to the Inject path event-for-event, which
+// is what keeps a 1-node fleet bit-identical to direct serving.
+func (sv *Server) RouteArrival() {
+	sv.pendingArrivals++
+	fireAdmit(sv.sim.Now(), sv)
+}
+
+// BoardHealthCounts reports the runtime's current belief about its
+// boards — the signal a fleet generalizes into node-level health. With
+// no fault layer attached every board reads healthy.
+func (sv *Server) BoardHealthCounts() (healthy, suspect, down int) {
+	if sv.health == nil {
+		return len(sv.accels), 0, 0
+	}
+	for _, h := range sv.health {
+		switch h.state {
+		case healthSuspect:
+			suspect++
+		case healthDown:
+			down++
+		default:
+			healthy++
+		}
+	}
+	return healthy, suspect, down
 }
 
 // fireAdmit routes an arrival: straight to admission, or — with the
@@ -1104,13 +1138,12 @@ func (r Result) ViolationRatio() float64 {
 // Collect drains the simulator and summarizes the run. It must be called
 // once, after all arrivals are injected.
 func (sv *Server) Collect() Result {
-	start := sv.powerTS.Times[0]
 	// Drain: advance in governor-period steps until every injected
 	// request has been admitted and completed. (Run-to-empty would never
 	// terminate with the governor enabled — it reschedules itself
 	// forever.)
 	horizon := sv.sim.Now() + sim.Time(sv.opts.GovernorPeriodMS)
-	for sv.pendingArrivals > 0 || sv.inFlight > 0 {
+	for !sv.Drained() {
 		sv.sim.RunUntil(horizon)
 		horizon += sim.Time(sv.opts.GovernorPeriodMS)
 	}
@@ -1118,6 +1151,25 @@ func (sv *Server) Collect() Result {
 	// transitions). Never Run-to-empty: the governor reschedules itself
 	// forever.
 	sv.sim.RunUntil(horizon)
+	return sv.Summarize()
+}
+
+// Drained reports whether every injected arrival has been admitted and
+// completed — the serving loop's termination condition. A fleet drains
+// all its shards on the shared clock before summarizing any of them.
+func (sv *Server) Drained() bool {
+	return sv.pendingArrivals == 0 && sv.inFlight == 0
+}
+
+// GovernorPeriodMS returns the monitor/optimizer cycle length — the
+// horizon step a fleet's drain loop advances the shared clock by.
+func (sv *Server) GovernorPeriodMS() float64 { return sv.opts.GovernorPeriodMS }
+
+// Summarize builds the run summary at the current instant without
+// driving the simulator. Collect = drain + Summarize; a fleet drains the
+// shared clock itself and then summarizes each shard. Call it once.
+func (sv *Server) Summarize() Result {
+	start := sv.powerTS.Times[0]
 	end := sv.sim.Now()
 	sv.powerTS.Add(end, sv.node.PowerW())
 	if sv.tel != nil {

@@ -17,6 +17,14 @@ type Workload struct {
 	rng *sim.RNG
 }
 
+// ArrivalTarget receives scheduled arrivals: a *Server directly, or a
+// fleet router that places each arrival on a shard at fire time. Both
+// consume the identical RNG draw sequence for a given workload, which is
+// what makes the router's 1-node bit-transparency gate meaningful.
+type ArrivalTarget interface {
+	Inject(at sim.Time)
+}
+
 // NewWorkload builds a deterministic workload source.
 func NewWorkload(seed int64) *Workload {
 	return &Workload{rng: sim.NewRNG(seed)}
@@ -26,14 +34,14 @@ func NewWorkload(seed int64) *Workload {
 // requests/second from `start` for `durationMS`, returning the number of
 // arrivals. Poisson arrivals are the standard open-loop model for
 // interactive services (Treadmill [38]).
-func (w *Workload) InjectPoisson(sv *Server, rps float64, start, durationMS sim.Time) int {
+func (w *Workload) InjectPoisson(tgt ArrivalTarget, rps float64, start, durationMS sim.Time) int {
 	if rps <= 0 || durationMS <= 0 {
 		return 0
 	}
 	meanGapMS := 1000 / rps
 	n := 0
 	for t := start + sim.Time(w.rng.Exp(meanGapMS)); t < start+durationMS; t += sim.Time(w.rng.Exp(meanGapMS)) {
-		sv.Inject(t)
+		tgt.Inject(t)
 		n++
 	}
 	return n
@@ -41,14 +49,14 @@ func (w *Workload) InjectPoisson(sv *Server, rps float64, start, durationMS sim.
 
 // InjectConstant injects arrivals at a fixed interval (the motivation
 // study's "requests ... sent in a constant interval").
-func (w *Workload) InjectConstant(sv *Server, rps float64, start, durationMS sim.Time) int {
+func (w *Workload) InjectConstant(tgt ArrivalTarget, rps float64, start, durationMS sim.Time) int {
 	if rps <= 0 || durationMS <= 0 {
 		return 0
 	}
 	gap := sim.Time(1000 / rps)
 	n := 0
 	for t := start + gap; t < start+durationMS; t += gap {
-		sv.Inject(t)
+		tgt.Inject(t)
 		n++
 	}
 	return n
@@ -57,13 +65,13 @@ func (w *Workload) InjectConstant(sv *Server, rps float64, start, durationMS sim
 // InjectRate injects a Poisson process whose rate is piecewise constant:
 // rate(t) gives RPS for each stepMS-wide interval — the trace-replay
 // driver of Section VI-C.
-func (w *Workload) InjectRate(sv *Server, rate func(t sim.Time) float64, durationMS, stepMS sim.Time) int {
+func (w *Workload) InjectRate(tgt ArrivalTarget, rate func(t sim.Time) float64, durationMS, stepMS sim.Time) int {
 	if stepMS <= 0 || durationMS <= 0 {
 		return 0
 	}
 	n := 0
 	for t := sim.Time(0); t < durationMS; t += stepMS {
-		n += w.InjectPoisson(sv, rate(t), t, min(stepMS, durationMS-t))
+		n += w.InjectPoisson(tgt, rate(t), t, min(stepMS, durationMS-t))
 	}
 	return n
 }
@@ -84,6 +92,15 @@ type Bench struct {
 // NewSession provisions a fresh node + server for one run. Each session
 // owns its own simulator, so repeated measurements are independent.
 func (b Bench) NewSession(opts Options) (*Server, *cluster.Node, error) {
+	return b.NewShardSession(sim.New(), "", opts)
+}
+
+// NewShardSession provisions one fleet shard: a node whose boards carry
+// the given name prefix, built on a shared simulator, plus the server
+// that drives it. NewSession is the single-node case (fresh simulator,
+// empty prefix) — so a 1-node fleet and a direct session assemble the
+// exact same node, planner, and server.
+func (b Bench) NewShardSession(s *sim.Simulator, prefix string, opts Options) (*Server, *cluster.Node, error) {
 	cap := b.PowerCapW
 	if cap == 0 {
 		cap = 500
@@ -94,7 +111,7 @@ func (b Bench) NewSession(opts Options) (*Server, *cluster.Node, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	node := cluster.Build(sim.New(), plan)
+	node := cluster.BuildNamed(s, plan, prefix)
 
 	var planner Planner
 	switch b.Arch {

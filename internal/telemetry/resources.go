@@ -152,6 +152,23 @@ func syncResGauges(g resGauges, v resVals) {
 	}
 }
 
+// NodeResource returns the recorder's live node-level occupancy for one
+// resource: allocated, allocatable, and whether the resource was ever
+// registered. This is the read side a fleet rollup aggregates across
+// per-shard recorders without going through text exposition.
+func (r *Recorder) NodeResource(resource string) (allocated, allocatable float64, ok bool) {
+	i := resourceIndex(resource)
+	if i < 0 {
+		return 0, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodeResOn[i] {
+		return 0, 0, false
+	}
+	return r.nodeRes[i].allocated, r.nodeRes[i].allocatable, true
+}
+
 // syncResourcesLocked pushes the raw occupancy floats into the exported
 // gauges; called once per scrape.
 func (r *Recorder) syncResourcesLocked() {
