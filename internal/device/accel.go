@@ -258,11 +258,21 @@ func (b *accelBase) EnergyMJ() float64 {
 // perturb derives a deterministic per-impl execution noise in
 // [1-amp, 1+amp] from a string hash, standing in for the measurement
 // noise of real hardware. The paper's model-accuracy claim (≤6 % error)
-// is validated against this (BenchmarkModelAccuracy).
-func perturb(id string, amp float64) float64 {
+// is validated against this (BenchmarkModelAccuracy). The two parts are
+// hashed as if concatenated with '/' — FNV is a streaming hash, so this
+// matches hashing dev+"/"+impl without building the string (Perturb runs
+// once per task execution; the concat was a top allocation site under
+// load).
+func perturb(dev, impl string, amp float64) float64 {
 	var h uint32 = 2166136261
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
+	for i := 0; i < len(dev); i++ {
+		h ^= uint32(dev[i])
+		h *= 16777619
+	}
+	h ^= uint32('/')
+	h *= 16777619
+	for i := 0; i < len(impl); i++ {
+		h ^= uint32(impl[i])
 		h *= 16777619
 	}
 	u := float64(h%2048)/1023.5 - 1 // [-1, 1]
@@ -564,7 +574,7 @@ func (g *GPUDevice) QueueLen() int {
 }
 
 // Perturb implements Accelerator with a ±4 % deterministic noise band.
-func (g *GPUDevice) Perturb(implID string) float64 { return perturb(g.name+"/"+implID, 0.04) }
+func (g *GPUDevice) Perturb(implID string) float64 { return perturb(g.name, implID, 0.04) }
 
 // FPGADevice simulates one FPGA board: a request pipeline for the loaded
 // bitstream, with reconfiguration when the implementation changes and a
@@ -797,7 +807,7 @@ func (f *FPGADevice) NextFreeAt() sim.Time {
 func (f *FPGADevice) QueueLen() int { return len(f.queue) + f.inflight }
 
 // Perturb implements Accelerator with a ±5 % deterministic noise band.
-func (f *FPGADevice) Perturb(implID string) float64 { return perturb(f.name+"/"+implID, 0.05) }
+func (f *FPGADevice) Perturb(implID string) float64 { return perturb(f.name, implID, 0.05) }
 
 var (
 	_ Accelerator = (*GPUDevice)(nil)

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"poly/internal/cluster"
+	"poly/internal/fleet"
+	"poly/internal/parallel"
+	"poly/internal/runtime"
+	"poly/internal/sim"
+)
+
+// FleetScaleRow is one (nodes, workers) cell of the scaling sweep.
+type FleetScaleRow struct {
+	Nodes   int
+	Workers int
+	// Sync is the mode the cell ran under ("serial" for the reference
+	// column, "parallel" otherwise).
+	Sync string
+	// WallMS is the measured wall-clock of the serving run (median of
+	// fleetScaleReps repetitions).
+	WallMS float64
+	// Speedup is the serial reference's WallMS over this cell's — how
+	// much the epoch coordinator buys at this pool size.
+	Speedup float64
+	// Completed pins the simulated outcome so the sweep doubles as a
+	// coarse cross-mode consistency check (all cells of a node count
+	// must complete the same requests).
+	Completed int
+}
+
+// FleetScaleResult is the fleetscale experiment: wall-clock of the
+// parallel epoch coordinator across a nodes × workers grid, against the
+// serial shared-clock reference per node count.
+type FleetScaleResult struct {
+	id   string
+	Rows []FleetScaleRow
+}
+
+// ID implements Result.
+func (r *FleetScaleResult) ID() string { return r.id }
+
+// Render implements Result.
+func (r *FleetScaleResult) Render() string {
+	var b strings.Builder
+	b.WriteString("fleetscale — wall-clock of the fleet drain, per-node simulators vs one shared clock, ASR on Setting-I\n")
+	b.WriteString("  nodes  sync      workers  wall ms  speedup vs serial\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %5d  %-8s  %7d  %7.1f  %17.2f\n",
+			row.Nodes, row.Sync, row.Workers, row.WallMS, row.Speedup)
+	}
+	b.WriteString("  (speedup needs physical cores; a single-core host serializes every cell)\n")
+	return b.String()
+}
+
+// fleetScaleReps repeats each cell and keeps the median wall-clock, so
+// one descheduled run does not distort the nightly artifact.
+const fleetScaleReps = 3
+
+// fleetScale measures the tentpole claim behind SyncParallel: with the
+// router as the only cross-shard edge, per-node simulators advanced in
+// conservative epochs should drain a fleet faster than one shared clock
+// whenever cores are available — without changing a single result bit
+// (TestFleetParallelBitIdentity holds the identity; this experiment
+// records the wall-clock side).
+func fleetScale() (Result, error) {
+	const (
+		perNodeRPS = 40.0
+		durationMS = 20_000.0
+	)
+	defer parallel.SetWorkers(0)
+	res := &FleetScaleResult{id: "fleetscale"}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b, err := benchFor("ASR", cluster.HeterPoly, cluster.SettingI)
+		if err != nil {
+			return nil, err
+		}
+		cell := func(mode fleet.SyncMode, workers int) (FleetScaleRow, error) {
+			parallel.SetWorkers(workers)
+			row := FleetScaleRow{Nodes: nodes, Workers: workers, Sync: mode.String()}
+			var walls []float64
+			for rep := 0; rep < fleetScaleReps; rep++ {
+				f, err := fleet.New(b, fleet.Options{
+					Nodes: nodes, Policy: fleet.LeastUtil, Sync: mode,
+					Runtime: runtime.Options{WarmupMS: 2000},
+				})
+				if err != nil {
+					return row, err
+				}
+				runtime.NewWorkload(1).InjectConstant(f, perNodeRPS*float64(nodes), 0, sim.Time(durationMS))
+				start := time.Now()
+				out := f.Collect()
+				walls = append(walls, float64(time.Since(start).Microseconds())/1000)
+				row.Completed = out.Completed
+			}
+			row.WallMS = median(walls)
+			return row, nil
+		}
+		serial, err := cell(fleet.SyncSerial, 1)
+		if err != nil {
+			return nil, err
+		}
+		serial.Speedup = 1
+		res.Rows = append(res.Rows, serial)
+		for _, workers := range []int{1, 2, 4} {
+			if workers > nodes {
+				continue
+			}
+			row, err := cell(fleet.SyncParallel, workers)
+			if err != nil {
+				return nil, err
+			}
+			if row.Completed != serial.Completed {
+				return nil, fmt.Errorf("fleetscale: %d nodes, %d workers completed %d, serial %d",
+					nodes, workers, row.Completed, serial.Completed)
+			}
+			if row.WallMS > 0 {
+				row.Speedup = serial.WallMS / row.WallMS
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// median returns the middle value of xs (mean of the two middles for
+// even lengths). xs is small; sort by insertion.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

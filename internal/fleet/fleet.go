@@ -2,20 +2,29 @@
 // router — the paper's datacenter story (Section VI-C) lifted from one
 // node to a cluster. Each shard is a full cluster.Node + runtime.Server
 // pair (its own boards, planner, plan cache, governor, and health
-// machinery); all shards run on ONE shared simulator clock, and a
-// Router admits every arrival by placing it on a node using pluggable
-// policies fed by the same per-node allocated/allocatable/utilization
-// signals the telemetry resource gauges export.
+// machinery), and a Router admits every arrival by placing it on a node
+// using pluggable policies fed by the same per-node
+// allocated/allocatable/utilization signals the telemetry resource
+// gauges export.
 //
-// Determinism: the whole fleet is driven by the single-threaded event
-// simulator, so placements, per-node outcomes, and the aggregate are
-// pure functions of the arrival trace — bit-identical at any
-// internal/parallel pool size (pools fan out *across* fleet sessions,
-// never inside one). Router bit-transparency: a 1-node fleet assembles
-// the identical node (empty board-name prefix) and fires the identical
-// event sequence as a direct runtime.Server session, enforced by
-// TestFleetRouterBitTransparency the same way the telemetry, fault, and
-// batching layers are gated.
+// Two synchronization modes drive the shards (Options.Sync). SyncSerial
+// runs every shard on ONE shared simulator clock — the reference
+// semantics. SyncParallel (the default) gives each shard its own
+// simulator and runs them concurrently on the internal/parallel worker
+// pool, lock-stepped by a conservative epoch coordinator: the router is
+// the only cross-shard edge, every arrival time is known at injection,
+// so shards can safely advance in parallel up to the next routed
+// arrival, stop on a (time, sequence) barrier, and let the router place
+// that arrival serially before the next epoch (see parallel.go).
+//
+// Determinism: in both modes placements, per-node outcomes, and the
+// aggregate are pure functions of the arrival trace — bit-identical
+// across modes and at any internal/parallel pool size, enforced by
+// TestFleetParallelBitIdentity. Router bit-transparency: a 1-node fleet
+// assembles the identical node (empty board-name prefix) and fires the
+// identical event sequence as a direct runtime.Server session, enforced
+// by TestFleetRouterBitTransparency the same way the telemetry, fault,
+// and batching layers are gated.
 //
 // Node count is an actuator: SetTargetNodes drains shards from the top
 // so a trace-driven autoscaler can scale the serving fleet against load
@@ -37,6 +46,10 @@ import (
 type Options struct {
 	// Nodes is the shard count (1 if zero).
 	Nodes int
+	// Sync selects how shard clocks are driven: SyncParallel (zero
+	// value) runs per-shard simulators concurrently under the epoch
+	// coordinator; SyncSerial runs all shards on one shared clock.
+	Sync SyncMode
 	// Policy is the router's placement policy (Binpack if zero).
 	Policy Policy
 	// NodeCapsW optionally skews per-node power caps (and with them
@@ -57,6 +70,9 @@ type Options struct {
 type shard struct {
 	idx  int
 	name string
+	// sim is the clock the shard's events run on: the fleet's shared
+	// simulator in serial mode, the shard's own in parallel mode.
+	sim  *sim.Simulator
 	node *cluster.Node
 	srv  *runtime.Server
 	rec  *telemetry.Recorder
@@ -65,13 +81,23 @@ type shard struct {
 	lastHealth NodeHealth
 }
 
-// Fleet owns N shards on one shared simulator and routes arrivals onto
-// them. It implements runtime.ArrivalTarget, so the same Workload
-// generators that drive a single server drive a fleet.
+// Fleet owns N shards and routes arrivals onto them. It implements
+// runtime.ArrivalTarget, so the same Workload generators that drive a
+// single server drive a fleet.
 type Fleet struct {
+	mode SyncMode
+	// sim is the shared clock in serial mode; nil in parallel mode,
+	// where each shard owns its simulator.
 	sim    *sim.Simulator
 	shards []*shard
 	policy Policy
+
+	// arrivals collects injected arrival times in parallel mode; the
+	// coordinator stable-sorts them at Collect (preserving injection
+	// order among equal times, matching the shared clock's FIFO rule)
+	// and routes them epoch by epoch. cursor is the next unrouted index.
+	arrivals []sim.Time
+	cursor   int
 
 	// rr is the spread policy's round-robin cursor.
 	rr int
@@ -90,8 +116,9 @@ type Fleet struct {
 	rollup *telemetry.FleetRollup
 }
 
-// New provisions a fleet of opts.Nodes shards of the given bench on one
-// fresh shared simulator. With Nodes == 1 the shard is assembled exactly
+// New provisions a fleet of opts.Nodes shards of the given bench — on
+// one fresh shared simulator in serial mode, on a fresh simulator per
+// shard in parallel mode. With Nodes == 1 the shard is assembled exactly
 // like a direct session (empty board-name prefix), which the router
 // bit-transparency gate relies on.
 func New(b runtime.Bench, opts Options) (*Fleet, error) {
@@ -102,10 +129,21 @@ func New(b runtime.Bench, opts Options) (*Fleet, error) {
 	if opts.Runtime.Telemetry != nil {
 		return nil, fmt.Errorf("fleet: Runtime.Telemetry must be nil (use WithTelemetry for per-shard recorders)")
 	}
+	mode := opts.Sync
+	if mode == SyncParallel && runtime.HasDefaultTelemetry() {
+		// A process-wide fallback sink would be shared by every shard;
+		// it cannot absorb concurrent timelines, so fall back to the
+		// shared clock. Semantics are unchanged (the modes are
+		// bit-identical); only wall-clock parallelism is lost.
+		mode = SyncSerial
+	}
 	f := &Fleet{
-		sim:        sim.New(),
+		mode:       mode,
 		policy:     opts.Policy,
 		placements: make([]int, n),
+	}
+	if mode == SyncSerial {
+		f.sim = sim.New()
 	}
 	if opts.WithTelemetry {
 		f.rollup = telemetry.NewFleetRollup()
@@ -120,12 +158,15 @@ func New(b runtime.Bench, opts Options) (*Fleet, error) {
 			bi.PowerCapW = opts.NodeCapsW[i]
 		}
 		ro := opts.Runtime
-		sh := &shard{idx: i, name: fmt.Sprintf("n%d", i)}
+		sh := &shard{idx: i, name: fmt.Sprintf("n%d", i), sim: f.sim}
+		if sh.sim == nil {
+			sh.sim = sim.New()
+		}
 		if opts.WithTelemetry {
 			sh.rec = telemetry.New()
 			ro.Telemetry = sh.rec
 		}
-		srv, node, err := bi.NewShardSession(f.sim, prefix, ro)
+		srv, node, err := bi.NewShardSession(sh.sim, prefix, ro)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
 		}
@@ -141,7 +182,12 @@ func New(b runtime.Bench, opts Options) (*Fleet, error) {
 // Nodes returns the shard count.
 func (f *Fleet) Nodes() int { return len(f.shards) }
 
-// Sim returns the shared simulator clock.
+// Sync returns the fleet's synchronization mode (after any construction-
+// time downgrade to serial).
+func (f *Fleet) Sync() SyncMode { return f.mode }
+
+// Sim returns the shared simulator clock in serial mode; nil in parallel
+// mode, where each shard owns its clock.
 func (f *Fleet) Sim() *sim.Simulator { return f.sim }
 
 // Server returns shard i's server (panics on a bad index, like a slice).
@@ -191,18 +237,32 @@ func (f *Fleet) ActiveNodes() int {
 
 // Inject schedules one arrival at the given absolute time; the routing
 // decision is deferred to the arrival instant so it reads the fleet's
-// live state. Implements runtime.ArrivalTarget.
+// live state. In serial mode the router rides the shared clock as an
+// event; in parallel mode the time is recorded for the epoch
+// coordinator, which routes it between epochs. Implements
+// runtime.ArrivalTarget.
 func (f *Fleet) Inject(at sim.Time) {
 	f.pending++
-	f.sim.AtCall(at, fireRoute, f)
+	if f.mode == SyncSerial {
+		f.sim.AtCall(at, fireRoute, f)
+		return
+	}
+	f.arrivals = append(f.arrivals, at)
 }
 
-// fireRoute is one arrival's routing event: pick a node by policy and
-// health, hand the arrival to its server at the current instant, or
-// shed it at the fleet when no node is eligible (the fast-rejection
-// rationale of admission shedding, lifted to the cluster).
+// fireRoute is one arrival's routing event on the serial shared clock.
 func fireRoute(_ sim.Time, a any) {
-	f := a.(*Fleet)
+	a.(*Fleet).routeOne()
+}
+
+// routeOne routes a single arrival at the current instant: pick a node
+// by policy and health, hand the arrival to its server, or shed it at
+// the fleet when no node is eligible (the fast-rejection rationale of
+// admission shedding, lifted to the cluster). In parallel mode the
+// coordinator calls it with every shard's clock stopped at the arrival
+// time, so the policy reads the same signals it would on a shared
+// clock.
+func (f *Fleet) routeOne() {
 	f.pending--
 	f.injected++
 	sh := f.pick()
@@ -291,20 +351,25 @@ func (r Result) String() string {
 	return b.String()
 }
 
-// Collect drains the shared clock until every shard is idle, then
-// summarizes each shard and the aggregate. Call once, after all
-// arrivals are injected. The drain loop advances in governor-period
-// steps exactly like Server.Collect — for a 1-node fleet it reduces to
-// the identical RunUntil sequence, which the bit-transparency gate
-// checks.
+// Collect drains the fleet until every shard is idle, then summarizes
+// each shard and the aggregate. Call once, after all arrivals are
+// injected. The drain loop advances in governor-period steps exactly
+// like Server.Collect — for a 1-node fleet it reduces to the identical
+// RunUntil sequence, which the bit-transparency gate checks. In
+// parallel mode the epoch coordinator reproduces the same sequence per
+// shard (see drainParallel), so results are bit-identical across modes.
 func (f *Fleet) Collect() Result {
-	period := f.shards[0].srv.GovernorPeriodMS()
-	horizon := f.sim.Now() + sim.Time(period)
-	for !f.drained() {
+	period := sim.Time(f.shards[0].srv.GovernorPeriodMS())
+	if f.mode == SyncSerial {
+		horizon := f.sim.Now() + period
+		for !f.drained() {
+			f.sim.RunUntil(horizon)
+			horizon += period
+		}
 		f.sim.RunUntil(horizon)
-		horizon += sim.Time(period)
+	} else {
+		f.drainParallel(period)
 	}
-	f.sim.RunUntil(horizon)
 
 	res := Result{
 		Nodes:          len(f.shards),

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"poly/internal/parallel"
+	"poly/internal/sim"
+)
+
+// SyncMode selects how a fleet's shard clocks are synchronized.
+type SyncMode int
+
+const (
+	// SyncParallel (the default) gives each shard its own simulator and
+	// advances them concurrently in conservative epochs: shards run in
+	// parallel up to the next routed arrival, the router places that
+	// arrival with every clock stopped, and the cycle repeats. Results
+	// are bit-identical to SyncSerial.
+	SyncParallel SyncMode = iota
+	// SyncSerial runs every shard on one shared simulator clock — the
+	// single-threaded reference semantics.
+	SyncSerial
+)
+
+var syncNames = [...]string{"parallel", "serial"}
+
+// String returns the mode's CLI name.
+func (m SyncMode) String() string {
+	if m < 0 || int(m) >= len(syncNames) {
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+	return syncNames[m]
+}
+
+// ParseSyncMode maps a CLI name to a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch strings.ToLower(s) {
+	case "parallel", "par":
+		return SyncParallel, nil
+	case "serial", "shared":
+		return SyncSerial, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown sync mode %q (want parallel or serial)", s)
+}
+
+// drainParallel is the parallel-mode drain loop: the conservative epoch
+// coordinator. The router is the only cross-shard edge and every
+// arrival time is known before Collect, so the lookahead rule is exact:
+// between two consecutive routed arrivals, every shard's events are
+// independent and the shards may run concurrently.
+//
+// Bit-identity with the shared clock hinges on event ordering at the
+// arrival instant itself. On a shared simulator the routing event was
+// scheduled at injection time — before the run — so at its firing time t
+// it precedes every event the run schedules at t (larger sequence
+// numbers) but follows pre-run events at t (smaller ones, e.g. the
+// construction-scheduled first governor tick). The coordinator
+// reproduces that interleaving with a per-shard sequence barrier: marks
+// snapshot each shard's next sequence number before any event fires, so
+// RunUntilBarrier(t, mark) fires exactly the events that would have
+// preceded the routing event at t, the router then places the arrival
+// (injection order among equal times — the shared clock's FIFO rule),
+// and the epoch after the barrier releases the run-scheduled events at
+// t. The drain loop then replays Server.Collect's governor-period
+// horizon sequence per shard, so final clocks and power-sample times
+// also match bit-exactly.
+func (f *Fleet) drainParallel(period sim.Time) {
+	marks := make([]uint64, len(f.shards))
+	for i, sh := range f.shards {
+		marks[i] = sh.sim.SeqMark()
+	}
+	// Stable: equal-time arrivals keep injection order, which is the
+	// sequence order their routing events would have had.
+	sort.SliceStable(f.arrivals, func(i, j int) bool { return f.arrivals[i] < f.arrivals[j] })
+	r := newEpochRunner(f.shards, marks)
+	defer r.stop()
+	horizon := f.shards[0].sim.Now() + period
+	for !f.drained() {
+		f.advanceTo(r, horizon)
+		horizon += period
+	}
+	f.advanceTo(r, horizon)
+}
+
+// advanceTo drives every shard to horizon h: for each arrival time t <=
+// h, barrier-advance all shards to t, route the arrivals at t in
+// injection order, then (once no arrival remains before h) advance all
+// shards fully to h.
+func (f *Fleet) advanceTo(r *epochRunner, h sim.Time) {
+	for f.cursor < len(f.arrivals) && f.arrivals[f.cursor] <= h {
+		t := f.arrivals[f.cursor]
+		r.advance(t, true)
+		for f.cursor < len(f.arrivals) && f.arrivals[f.cursor] == t {
+			f.routeOne()
+			f.cursor++
+		}
+	}
+	r.advance(h, false)
+}
+
+// epochCmd is one lock-step round: advance to deadline, either through
+// the sequence barrier (arrival epoch) or fully (horizon epoch).
+type epochCmd struct {
+	deadline sim.Time
+	barrier  bool
+}
+
+// epochRunner advances all shards one epoch at a time on persistent
+// worker goroutines. Worker w owns shards w, w+W, w+2W, ... for the
+// whole drain, so each shard's events always run on the same goroutine;
+// the channel send/receive and WaitGroup around every round give the
+// coordinator↔worker happens-before edges the race detector checks.
+// With one worker (single-core, or a 1-node fleet) rounds run inline on
+// the caller — no goroutines, no synchronization cost.
+type epochRunner struct {
+	shards  []*shard
+	marks   []uint64
+	workers int
+	cmds    []chan epochCmd
+	wg      sync.WaitGroup
+}
+
+func newEpochRunner(shards []*shard, marks []uint64) *epochRunner {
+	r := &epochRunner{shards: shards, marks: marks, workers: parallel.Workers()}
+	if r.workers > len(shards) {
+		r.workers = len(shards)
+	}
+	if r.workers <= 1 {
+		r.workers = 1
+		return r
+	}
+	r.cmds = make([]chan epochCmd, r.workers)
+	for w := range r.cmds {
+		r.cmds[w] = make(chan epochCmd, 1)
+		go r.loop(w)
+	}
+	return r
+}
+
+// loop is one worker: each command advances the worker's strided share
+// of the shards, then signals the round's WaitGroup.
+func (r *epochRunner) loop(w int) {
+	for c := range r.cmds[w] {
+		for i := w; i < len(r.shards); i += r.workers {
+			r.runOne(i, c)
+		}
+		r.wg.Done()
+	}
+}
+
+// runOne advances shard i through one epoch.
+func (r *epochRunner) runOne(i int, c epochCmd) {
+	s := r.shards[i].sim
+	if c.barrier {
+		s.RunUntilBarrier(c.deadline, r.marks[i])
+	} else {
+		s.RunUntil(c.deadline)
+	}
+}
+
+// eligible reports whether shard i has any event to fire in this epoch
+// (as opposed to just a clock to bump).
+func (r *epochRunner) eligible(i int, c epochCmd) bool {
+	at, seq, ok := r.shards[i].sim.NextEvent()
+	if !ok || at > c.deadline {
+		return false
+	}
+	if at == c.deadline && c.barrier {
+		return seq < r.marks[i]
+	}
+	return true
+}
+
+// advance runs one lock-step round over every shard. Rounds where at
+// most one shard has eligible work skip the worker handoff entirely —
+// the common case between arrivals at low load, where fan-out latency
+// would dominate the O(1) clock bumps.
+func (r *epochRunner) advance(deadline sim.Time, barrier bool) {
+	c := epochCmd{deadline: deadline, barrier: barrier}
+	if r.workers > 1 {
+		busy := 0
+		for i := range r.shards {
+			if r.eligible(i, c) {
+				if busy++; busy > 1 {
+					break
+				}
+			}
+		}
+		if busy > 1 {
+			r.wg.Add(r.workers)
+			for _, ch := range r.cmds {
+				ch <- c
+			}
+			r.wg.Wait()
+			return
+		}
+	}
+	for i := range r.shards {
+		r.runOne(i, c)
+	}
+}
+
+// stop shuts the worker goroutines down after the drain.
+func (r *epochRunner) stop() {
+	for _, ch := range r.cmds {
+		close(ch)
+	}
+}

@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"poly/internal/fault"
+	"poly/internal/parallel"
+	"poly/internal/runtime"
+	"poly/internal/sim"
+)
+
+// sameFleetRun fails unless two fleet outcomes are bitwise identical:
+// router accounting, per-node placements and outcomes, aggregate
+// percentiles and energy, and every latency sample in node order. This
+// is the comparison surface the parallel-coordinator gates use.
+func sameFleetRun(t *testing.T, what string, a, b Result, latA, latB []float64) {
+	t.Helper()
+	if a.Injected != b.Injected || a.Shed != b.Shed || a.NodeDownEvents != b.NodeDownEvents {
+		t.Fatalf("%s: router accounting diverged: injected %d/%d, shed %d/%d, down %d/%d",
+			what, a.Injected, b.Injected, a.Shed, b.Shed, a.NodeDownEvents, b.NodeDownEvents)
+	}
+	if len(a.PerNode) != len(b.PerNode) {
+		t.Fatalf("%s: node counts diverged: %d vs %d", what, len(a.PerNode), len(b.PerNode))
+	}
+	for n := range a.PerNode {
+		na, nb := a.PerNode[n], b.PerNode[n]
+		if na.Placements != nb.Placements {
+			t.Fatalf("%s: node %d placements diverged: %d vs %d", what, n, na.Placements, nb.Placements)
+		}
+		if na.Health != nb.Health {
+			t.Fatalf("%s: node %d health diverged: %v vs %v", what, n, na.Health, nb.Health)
+		}
+		sameRun(t, what+" node "+na.Name, na.Result, nb.Result, nil, nil)
+	}
+	for _, f := range [][2]float64{
+		{a.P50MS, b.P50MS}, {a.P99MS, b.P99MS}, {a.MeanMS, b.MeanMS},
+		{a.EnergyMJ, b.EnergyMJ}, {a.DurationMS, b.DurationMS},
+	} {
+		if math.Float64bits(f[0]) != math.Float64bits(f[1]) {
+			t.Fatalf("%s: aggregate diverged: %v vs %v", what, f[0], f[1])
+		}
+	}
+	if len(latA) != len(latB) {
+		t.Fatalf("%s: latency sample counts diverged: %d vs %d", what, len(latA), len(latB))
+	}
+	for i := range latA {
+		if math.Float64bits(latA[i]) != math.Float64bits(latB[i]) {
+			t.Fatalf("%s: latency sample %d diverged: %v vs %v", what, i, latA[i], latB[i])
+		}
+	}
+}
+
+// TestFleetParallelBitIdentity is the parallel coordinator's equivalence
+// gate: for every policy × node count × fault setting, a fleet run under
+// the epoch coordinator — at worker-pool sizes 1 and 4 — must be
+// bit-identical to the serial shared-clock reference. This is the
+// contract that lets SyncParallel be the default: parallelism is a pure
+// wall-clock optimization, invisible in every result bit.
+func TestFleetParallelBitIdentity(t *testing.T) {
+	b := asrBench(t)
+	const (
+		rps        = 100.0
+		durationMS = 5000.0
+		seed       = 13
+	)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+
+	run := func(t *testing.T, nodes int, pol Policy, mode SyncMode, faults bool) (Result, []float64) {
+		t.Helper()
+		ro := runtime.Options{WarmupMS: 0.2 * durationMS}
+		if faults {
+			board := "gpu0"
+			if nodes > 1 {
+				board = "n1/gpu0"
+			}
+			ro.Faults = &fault.Config{Seed: seed, Script: []fault.Window{
+				{Board: board, Kind: fault.Failure, Start: 2000, End: 1e9},
+			}}
+		}
+		f, err := New(b, Options{Nodes: nodes, Policy: pol, Sync: mode, Runtime: ro})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Sync(); got != mode {
+			t.Fatalf("Sync() = %v, want %v", got, mode)
+		}
+		runtime.NewWorkload(seed).InjectPoisson(f, rps, 0, sim.Time(durationMS))
+		res := f.Collect()
+		fleetAccounting(t, res)
+		return res, f.LatencySamples()
+	}
+
+	for _, nodes := range []int{1, 2, 4} {
+		for _, pol := range Policies() {
+			for _, faults := range []bool{false, true} {
+				name := fmt.Sprintf("%dn-%s", nodes, pol)
+				if faults {
+					name += "-faults"
+				}
+				what := name
+				t.Run(name, func(t *testing.T) {
+					parallel.SetWorkers(0)
+					serial, serialLat := run(t, nodes, pol, SyncSerial, faults)
+					if serial.Completed == 0 {
+						t.Fatal("serial reference completed nothing; the gate has no teeth")
+					}
+					for _, workers := range []int{1, 4} {
+						parallel.SetWorkers(workers)
+						par, parLat := run(t, nodes, pol, SyncParallel, faults)
+						sameFleetRun(t, what, serial, par, serialLat, parLat)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFleetEpochBoundaryArrivals is the property test for the
+// coordinator's trickiest interleavings: arrival times that land exactly
+// on epoch boundaries — governor-period multiples, where the sequence
+// barrier must order routing between the shard's pre-run governor tick
+// and its run-scheduled events at the same instant — plus duplicate
+// times and out-of-order injection (exercising the stable sort's
+// injection-order tie rule). Randomized over several seeds; every trace
+// must be bit-identical across sync modes.
+func TestFleetEpochBoundaryArrivals(t *testing.T) {
+	b := asrBench(t)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		// Half the arrivals sit exactly on 500 ms governor edges
+		// (duplicates likely), the rest at arbitrary instants; the whole
+		// trace is injected in shuffled order.
+		const n = 200
+		times := make([]sim.Time, 0, n)
+		for i := 0; i < n/2; i++ {
+			times = append(times, sim.Time(500*(1+rng.Intn(8))))
+		}
+		for i := n / 2; i < n; i++ {
+			times = append(times, sim.Time(rng.Float64()*4000))
+		}
+		rng.Shuffle(len(times), func(i, j int) { times[i], times[j] = times[j], times[i] })
+
+		run := func(mode SyncMode, workers int) (Result, []float64) {
+			t.Helper()
+			parallel.SetWorkers(workers)
+			f, err := New(b, Options{Nodes: 4, Policy: LeastUtil, Sync: mode,
+				Runtime: runtime.Options{WarmupMS: 500}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, at := range times {
+				f.Inject(at)
+			}
+			res := f.Collect()
+			fleetAccounting(t, res)
+			return res, f.LatencySamples()
+		}
+		serial, serialLat := run(SyncSerial, 0)
+		if serial.Completed == 0 {
+			t.Fatal("serial reference completed nothing")
+		}
+		for _, workers := range []int{1, 4} {
+			par, parLat := run(SyncParallel, workers)
+			sameFleetRun(t, "epoch-boundary", serial, par, serialLat, parLat)
+		}
+	}
+}

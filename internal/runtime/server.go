@@ -86,6 +86,12 @@ var defaultTelemetry telemetry.Sink
 // SetDefaultTelemetry installs a process-wide fallback telemetry sink.
 func SetDefaultTelemetry(s telemetry.Sink) { defaultTelemetry = s }
 
+// HasDefaultTelemetry reports whether a process-wide fallback sink is
+// installed. The parallel fleet coordinator checks it: one shared sink
+// cannot absorb N concurrent shard timelines, so a fleet downgrades to
+// serial synchronization while a default sink is recording.
+func HasDefaultTelemetry() bool { return defaultTelemetry != nil }
+
 // defaultRestoreSlack is the planning headroom the governor restores in
 // calm windows (mirrors the scheduler's default).
 const defaultRestoreSlack = 0.6
@@ -499,13 +505,24 @@ type edgeProp struct {
 	succ int32
 }
 
+// poolChunk is how many request/task objects one free-list refill
+// allocates at once. The pools only ever grow to the run's peak
+// concurrency, so chunking turns that growth from one allocation per
+// object into one per chunk without retaining more than a chunk's
+// worth of slack.
+const poolChunk = 64
+
 func (sv *Server) acquireRequest() *request {
 	if n := len(sv.reqFree); n > 0 {
 		r := sv.reqFree[n-1]
 		sv.reqFree = sv.reqFree[:n-1]
 		return r
 	}
-	return &request{}
+	chunk := make([]request, poolChunk)
+	for i := 1; i < poolChunk; i++ {
+		sv.reqFree = append(sv.reqFree, &chunk[i])
+	}
+	return &chunk[0]
 }
 
 func (sv *Server) acquireTask() *device.Task {
@@ -514,7 +531,11 @@ func (sv *Server) acquireTask() *device.Task {
 		sv.taskFree = sv.taskFree[:n-1]
 		return t
 	}
-	return &device.Task{}
+	chunk := make([]device.Task, poolChunk)
+	for i := 1; i < poolChunk; i++ {
+		sv.taskFree = append(sv.taskFree, &chunk[i])
+	}
+	return &chunk[0]
 }
 
 // releaseTask recycles a task whose single lifecycle callback has fired;
@@ -530,7 +551,11 @@ func (sv *Server) acquireProp() *edgeProp {
 		sv.propFree = sv.propFree[:n-1]
 		return p
 	}
-	return &edgeProp{}
+	chunk := make([]edgeProp, poolChunk)
+	for i := 1; i < poolChunk; i++ {
+		sv.propFree = append(sv.propFree, &chunk[i])
+	}
+	return &chunk[0]
 }
 
 // maybeRelease recycles the request once it is finished and no scheduled

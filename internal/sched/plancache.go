@@ -34,12 +34,26 @@ import (
 // oscillates between operating points, the plans for both points stay
 // warm.
 //
-// The cache is sharded 16 ways by key hash with a per-shard RWMutex, so
-// parallel sweep sessions sharing one planner stop contending on a single
-// lock; recency is tracked with atomic stamps from a global clock.
-// Eviction is batched approximate-LRU: overflow evicts the globally
-// oldest-stamped entries (the exact LRU victim in sequential use), plus
-// capacity/8 more so the scan amortizes to O(1) per insert.
+// The cache is sharded 16 ways by key hash, and the hit path is
+// lock-free: each shard publishes an immutable read map through an
+// atomic.Pointer, so steady-state readers load one pointer and index —
+// no RWMutex, no read-side cache-line writes beyond the recency stamp —
+// and concurrent fleet shards plan without contention. Writes use the
+// sync.Map discipline: inserts go to a mutable dirty map under a
+// per-shard mutex (copied from the read map once per promotion cycle,
+// not per insert), read-misses consult the dirty map under the same
+// mutex, and once dirty lookups outnumber the dirty map's size the
+// dirty map is promoted — published as the new immutable read map. A
+// read-miss is about to run the full planner anyway, so the slow path's
+// mutex is noise; the hot path (a key already promoted) never blocks.
+// The ordering contract is seal-then-publish: a plan is sealed (frozen,
+// fingerprinted under plancheck) before put is called, and the mutex
+// (dirty hits) or the atomic promotion store (read hits) is the release
+// barrier that makes the sealed plan visible to readers. Recency is
+// tracked with atomic stamps from a global clock. Eviction is batched
+// approximate-LRU: overflow evicts the globally oldest-stamped entries
+// (the exact LRU victim in sequential use), plus capacity/8 more so the
+// scan amortizes to O(1) per insert.
 type PlanCache struct {
 	capacity int
 	clock    atomic.Uint64
@@ -51,9 +65,24 @@ type PlanCache struct {
 
 const planCacheShards = 16
 
+// planMap is one shard's published generation: readers treat it as
+// immutable; once a map has been stored in planShard.read it is never
+// written again.
+type planMap = map[string]*planEntry
+
 type planShard struct {
-	mu      sync.RWMutex
-	entries map[string]*planEntry
+	// mu guards dirty and missed, and serializes put/evict/promotion.
+	// The read-hit path never takes it.
+	mu sync.Mutex
+	// read is the shard's immutable published map; never nil.
+	read atomic.Pointer[planMap]
+	// dirty, when non-nil, is a superset of *read plus unpromoted
+	// inserts. It is mutable only until promotion publishes it as the
+	// new read map, after which the next insert copies it afresh.
+	dirty planMap
+	// missed counts read-misses that hit dirty; reaching len(dirty)
+	// triggers promotion, so the amortized promotion cost is O(1).
+	missed int
 }
 
 // planEntry is one memoized plan; the stamp is its last-touched tick.
@@ -78,7 +107,8 @@ func newPlanCache(capacity int) *PlanCache {
 	}
 	c := &PlanCache{capacity: capacity}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[string]*planEntry, capacity/(planCacheShards*4)+1)
+		m := make(planMap)
+		c.shards[i].read.Store(&m)
 	}
 	return c
 }
@@ -94,51 +124,91 @@ func shardOf(key []byte) int {
 }
 
 // get returns the cached plan for the key, or nil. The result is the
-// shared sealed plan — callers must not mutate it.
+// shared sealed plan — callers must not mutate it. The hot path is
+// lock-free: one atomic pointer load, one map index, and an atomic
+// recency stamp; the acquire on the pointer load pairs with promotion's
+// publishing store, so a visible entry always carries a fully sealed
+// plan. Keys not yet promoted fall through to the dirty map under the
+// shard mutex — a miss there proceeds to the full planner, so the lock
+// never sits on the steady-state path.
 func (c *PlanCache) get(key []byte) *Plan {
 	sh := &c.shards[shardOf(key)]
-	sh.mu.RLock()
+	m := *sh.read.Load()
 	// map[string([]byte)] compiles to an allocation-free lookup.
-	e := sh.entries[string(key)]
-	var p *Plan
-	if e != nil {
-		p = e.plan
+	e := m[string(key)]
+	if e == nil {
+		e = sh.dirtyLookup(key)
 	}
-	sh.mu.RUnlock()
 	if e == nil {
 		c.misses.Add(1)
 		return nil
 	}
 	c.hits.Add(1)
 	e.stamp.Store(c.clock.Add(1))
+	p := e.plan
 	if planCheckEnabled {
 		p.verifySeal()
 	}
 	return p
 }
 
+// dirtyLookup is get's slow path: consult the unpromoted inserts, and
+// promote the dirty map once it has absorbed as many read-misses as it
+// holds entries (the sync.Map policy — promotion cost amortizes to O(1)
+// per insert).
+func (sh *planShard) dirtyLookup(key []byte) *planEntry {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.dirty == nil {
+		return nil
+	}
+	e := sh.dirty[string(key)]
+	if e == nil {
+		return nil
+	}
+	sh.missed++
+	if sh.missed >= len(sh.dirty) {
+		m := sh.dirty
+		sh.read.Store(&m)
+		sh.dirty = nil
+		sh.missed = 0
+	}
+	return e
+}
+
 // put stores a sealed plan under the key, evicting the oldest-stamped
-// entries when over capacity.
+// entries when over capacity. The insert lands in the shard's dirty
+// map; the read map is copied into a fresh dirty map only when none
+// exists (once per promotion cycle, not per insert), so sustained-miss
+// workloads do not rebuild the map on every plan.
 func (c *PlanCache) put(key []byte, p *Plan) {
 	if planCheckEnabled {
 		p.verifySeal()
 	}
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
-	if e, ok := sh.entries[string(key)]; ok {
+	k := string(key)
+	fresh := true
+	if sh.dirty == nil {
+		read := *sh.read.Load()
+		sh.dirty = make(planMap, len(read)+1)
+		for ok, ov := range read {
+			sh.dirty[ok] = ov
+		}
+		sh.missed = 0
+	}
+	if _, ok := sh.dirty[k]; ok {
 		// Same signature planned twice (e.g. after a stats reset): the
 		// planner is deterministic, so the plans are interchangeable.
-		e.plan = p
-		e.stamp.Store(c.clock.Add(1))
-		sh.mu.Unlock()
-		return
+		// Concurrent readers may still hold the old entry — publish a
+		// new one instead of mutating in place.
+		fresh = false
 	}
-	k := string(key)
 	e := &planEntry{key: k, plan: p}
 	e.stamp.Store(c.clock.Add(1))
-	sh.entries[k] = e
+	sh.dirty[k] = e
 	sh.mu.Unlock()
-	if int(c.size.Add(1)) > c.capacity {
+	if fresh && int(c.size.Add(1)) > c.capacity {
 		c.evictOverflow()
 	}
 }
@@ -159,25 +229,58 @@ func (c *PlanCache) evictOverflow() {
 	}
 	var cands []victim
 	for si := range c.shards {
+		// The dirty map (when present) is a superset of the read map;
+		// scanning it under the shard mutex sees every live entry.
 		sh := &c.shards[si]
-		sh.mu.RLock()
-		for k, e := range sh.entries {
+		sh.mu.Lock()
+		m := sh.dirty
+		if m == nil {
+			m = *sh.read.Load()
+		}
+		for k, e := range m {
 			cands = append(cands, victim{stamp: e.stamp.Load(), shard: si, key: k})
 		}
-		sh.mu.RUnlock()
+		sh.mu.Unlock()
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].stamp < cands[j].stamp })
 	if need > len(cands) {
 		need = len(cands)
 	}
+	// One rebuild per shard, dropping that shard's victims in a batch
+	// and publishing the survivors as the new read map. The stamp
+	// recheck keeps entries that were touched (or replaced) since the
+	// scan.
+	var drop [planCacheShards]map[string]uint64
 	for _, v := range cands[:need] {
-		sh := &c.shards[v.shard]
-		sh.mu.Lock()
-		if e, ok := sh.entries[v.key]; ok && e.stamp.Load() == v.stamp {
-			delete(sh.entries, v.key)
-			c.size.Add(-1)
+		if drop[v.shard] == nil {
+			drop[v.shard] = make(map[string]uint64)
 		}
+		drop[v.shard][v.key] = v.stamp
+	}
+	for si := range drop {
+		if len(drop[si]) == 0 {
+			continue
+		}
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		old := sh.dirty
+		if old == nil {
+			old = *sh.read.Load()
+		}
+		next := make(planMap, len(old))
+		removed := 0
+		for k, e := range old {
+			if st, ok := drop[si][k]; ok && e.stamp.Load() == st {
+				removed++
+				continue
+			}
+			next[k] = e
+		}
+		sh.read.Store(&next)
+		sh.dirty = nil
+		sh.missed = 0
 		sh.mu.Unlock()
+		c.size.Add(int64(-removed))
 	}
 }
 

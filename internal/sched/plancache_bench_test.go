@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// cacheHitKeys synthesizes n device-signature-shaped keys (~200 bytes,
+// the size appendPlanKeyDevices produces for a Setting-I node) and
+// populates the cache with one sealed plan per key.
+func cacheHitKeys(c *PlanCache, n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 0, 200)
+		k = append(k, "gpu0\x00heter-asr-steady-signature"...)
+		for w := 0; w < 20; w++ {
+			k = binary.LittleEndian.AppendUint64(k, uint64(i*31+w))
+		}
+		keys[i] = k
+		p := &Plan{MakespanMS: float64(i)}
+		p.seal()
+		c.put(k, p)
+	}
+	return keys
+}
+
+// BenchmarkPlanCacheHit is the uncontended hit path: one goroutine
+// cycling through a warm working set, the per-request cost a single
+// serving session pays.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	c := newPlanCache(1024)
+	keys := cacheHitKeys(c, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.get(keys[i&63]) == nil {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkPlanCacheContendedHits hammers the hit path from 8 goroutines
+// over a shared warm cache — the fleet shape, where concurrent shard
+// event loops plan against their node states at once. Each op is one get
+// per goroutine (8 gets of total work), so ns/op is the latency a shard
+// observes under full contention.
+func BenchmarkPlanCacheContendedHits(b *testing.B) {
+	c := newPlanCache(1024)
+	keys := cacheHitKeys(c, 64)
+	const goroutines = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if c.get(keys[(i+g*7)&63]) == nil {
+					b.Error("unexpected miss")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

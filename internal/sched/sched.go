@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -206,11 +207,13 @@ func (p *Plan) Order() []*Assignment {
 	for _, a := range p.Assignments {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].StartMS != out[j].StartMS {
-			return out[i].StartMS < out[j].StartMS
+	// slices.SortFunc, not sort.Slice: the reflection-based swapper
+	// allocates, and Order runs once per freshly built plan.
+	slices.SortFunc(out, func(a, b *Assignment) int {
+		if a.StartMS != b.StartMS {
+			return cmp.Compare(a.StartMS, b.StartMS)
 		}
-		return out[i].Kernel < out[j].Kernel
+		return strings.Compare(a.Kernel, b.Kernel)
 	})
 	p.order = out
 	return out

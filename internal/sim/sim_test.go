@@ -188,6 +188,43 @@ func TestRunUntilLeavesLaterEvents(t *testing.T) {
 	}
 }
 
+func TestRunUntilBarrierSplitsByMark(t *testing.T) {
+	s := New()
+	var fired []int
+	s.At(10, func() { fired = append(fired, 1) }) // before the barrier time
+	s.At(20, func() { fired = append(fired, 2) }) // at barrier time, pre-mark
+	mark := s.SeqMark()
+	s.At(20, func() { fired = append(fired, 3) }) // at barrier time, post-mark
+	s.At(30, func() { fired = append(fired, 4) }) // past the barrier
+
+	s.RunUntilBarrier(20, mark)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("barrier fired %v, want pre-mark events 1 and 2 only", fired)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("clock = %v, want advanced to barrier time 20", s.Now())
+	}
+	if at, seq, ok := s.NextEvent(); !ok || at != 20 || seq < mark {
+		t.Fatalf("NextEvent = (%v, %d, %v), want the held post-mark event at 20", at, seq, ok)
+	}
+	// A post-barrier advance releases the held event in FIFO order.
+	s.RunUntil(30)
+	if len(fired) != 4 || fired[2] != 3 || fired[3] != 4 {
+		t.Fatalf("resume fired %v, want 1 2 3 4", fired)
+	}
+}
+
+func TestRunUntilBarrierEmptyAdvancesClock(t *testing.T) {
+	s := New()
+	s.RunUntilBarrier(15, s.SeqMark())
+	if s.Now() != 15 {
+		t.Fatalf("clock = %v, want 15", s.Now())
+	}
+	if _, _, ok := s.NextEvent(); ok {
+		t.Fatal("NextEvent on an empty queue reported an event")
+	}
+}
+
 func TestHaltStopsRun(t *testing.T) {
 	s := New()
 	n := 0

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"io"
 	"net/http"
+	"sync"
 )
 
 // FleetRollup aggregates per-shard Recorders into fleet-level gauges —
@@ -19,7 +20,13 @@ import (
 // A shared Recorder across shards would corrupt the node gauges (each
 // shard re-registers allocatable and the board maps collide), so every
 // shard keeps its own Recorder and the rollup reads them at sync time.
+//
+// The rollup tolerates concurrent scrape: Sync, SetNodeHealth, AddNode,
+// and WritePrometheus serialize on an internal mutex, so an HTTP
+// /metrics scrape racing a fleet's health refresh (or a parallel
+// fleet's coordinator) sees a consistent gauge set.
 type FleetRollup struct {
+	mu    sync.Mutex
 	reg   *Registry
 	nodes []fleetNode
 
@@ -53,6 +60,8 @@ func (f *FleetRollup) Registry() *Registry { return f.reg }
 
 // AddNode registers one shard's recorder under a node name.
 func (f *FleetRollup) AddNode(name string, rec *Recorder) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	n := fleetNode{name: name, rec: rec}
 	for _, st := range fleetHealthStates {
 		n.health = append(n.health, f.reg.Gauge("poly_fleet_node_health",
@@ -66,6 +75,8 @@ func (f *FleetRollup) AddNode(name string, rec *Recorder) {
 // SetNodeHealth flips the node's state-labeled health gauges. Unknown
 // node names and states are ignored.
 func (f *FleetRollup) SetNodeHealth(name, state string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	si := -1
 	for i, st := range fleetHealthStates {
 		if st == state {
@@ -91,6 +102,8 @@ func (f *FleetRollup) SetNodeHealth(name, state string) {
 // Sync pulls every shard recorder's live node occupancy and refreshes
 // the fleet aggregate gauges.
 func (f *FleetRollup) Sync() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for ri, resource := range resourceNames {
 		var alloc, allocatable float64
 		any := false
